@@ -1,0 +1,54 @@
+// Ablation: coding overhead scalability (paper Section VI, "Scalable
+// Coding" future direction).
+//
+// CodeGen cost grows as C(K, r+1) multicast groups, and encode/decode
+// handle C(K-1, r) packets per node. This bench tabulates the
+// combinatorial growth and prices it with the calibrated model,
+// locating the crossover where coding overhead exceeds the shuffle
+// savings — the reason the paper caps r at 5.
+#include <iostream>
+
+#include "analytics/cost_model.h"
+#include "analytics/loads.h"
+#include "bench/bench_common.h"
+#include "combinatorics/subsets.h"
+#include "common/table.h"
+
+int main() {
+  using namespace cts;
+  using namespace cts::bench;
+
+  const CostModel model;
+  // Shuffle seconds of plain TeraSort at paper scale (12 GB, serial).
+  std::cout << "=== Ablation: coding-overhead scalability ===\n\n";
+
+  for (const int K : {16, 20}) {
+    const double dataset = 12e9;
+    const double uncoded_shuffle =
+        model.unicast_seconds(dataset * TeraSortLoad(K));
+    TextTable table("K=" + std::to_string(K) +
+                    ": overhead vs shuffle saving (paper scale)");
+    table.set_header({"r", "groups", "pkts/node", "CodeGen", "coded shuffle",
+                      "saving", "net benefit"});
+    for (int r = 1; r <= 8; ++r) {
+      const std::uint64_t groups = Binomial(K, r + 1);
+      const std::uint64_t packets = Binomial(K - 1, r);
+      const double codegen = model.codegen_seconds(groups);
+      const double coded_shuffle = model.multicast_seconds(
+          dataset * CodedLoad(K, r), static_cast<double>(r));
+      const double saving = uncoded_shuffle - coded_shuffle;
+      table.add_row(
+          {std::to_string(r), std::to_string(groups),
+           std::to_string(packets), TextTable::Num(codegen),
+           TextTable::Num(coded_shuffle), TextTable::Num(saving),
+           TextTable::Num(saving - codegen)});
+    }
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "CodeGen stays negligible through r=5 but explodes\n"
+               "combinatorially beyond it (C(20,9) = 167960 groups would\n"
+               "cost ~10 minutes of setup alone) — matching the paper's\n"
+               "choice to cap r at 5 and its call for scalable coding.\n";
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation: straggler sensitivity.
+//
+// The paper's intro cites coded computing for straggler mitigation
+// ([11]) as the other face of coding; CodedTeraSort itself, however,
+// needs every node's Map output before any packet can be decoded, and
+// its Map stage processes r x more data per node. This ablation prices
+// the measured runs with one node's compute rate degraded by a factor
+// s (compute stage time = max over nodes, so the slow node sets the
+// pace; the serial shuffle is rate-bound, not compute-bound, and is
+// unaffected).
+//
+// Expected shape: TeraSort degrades by (s-1) x a few seconds of
+// compute; CodedTeraSort degrades r x faster in Map — but because the
+// shuffle dominates both, coding still wins until the straggler is
+// extreme.
+#include <iostream>
+
+#include "analytics/report.h"
+#include "bench/bench_common.h"
+#include "codedterasort/coded_terasort.h"
+#include "common/table.h"
+#include "terasort/terasort.h"
+
+namespace {
+
+// Returns `result` with node 0's compute counters inflated by `slow`
+// (models a node whose CPU runs 1/slow as fast; byte counts are what
+// the cost model prices, so scaling them scales the node's time).
+cts::AlgorithmResult WithStraggler(cts::AlgorithmResult result,
+                                   double slow) {
+  auto& w = result.work.front();
+  w.map_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(w.map_bytes) * slow);
+  w.pack_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(w.pack_bytes) * slow);
+  w.unpack_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(w.unpack_bytes) * slow);
+  w.reduce_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(w.reduce_bytes) * slow);
+  w.codec.encode_xor_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(w.codec.encode_xor_bytes) * slow);
+  w.codec.decoded_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(w.codec.decoded_bytes) * slow);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace cts;
+  using namespace cts::bench;
+
+  const int K = 16;
+  const SortConfig base = BenchConfig(K, 1, 600'000);
+  std::cout << "=== Ablation: one straggling node (K=" << K << ") ===\n";
+  PrintRunBanner(base);
+
+  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
+  const CostModel model;
+
+  AlgorithmResult plain = RunTeraSort(base);
+  SortConfig coded_cfg = base;
+  coded_cfg.redundancy = 3;
+  AlgorithmResult coded = RunCodedTeraSort(coded_cfg);
+  // The pricing below only needs counters; drop the sorted data so the
+  // per-s copies stay cheap.
+  plain.partitions.clear();
+  coded.partitions.clear();
+
+  TextTable table("paper-scale totals with node 0 slowed by s");
+  table.set_header({"s", "TeraSort Map", "TeraSort total", "Coded Map",
+                    "Coded total", "Speedup"});
+  for (const double s : {1.0, 1.5, 2.0, 4.0, 8.0}) {
+    const StageBreakdown p =
+        SimulateRun(WithStraggler(plain, s), model, scale);
+    const StageBreakdown c =
+        SimulateRun(WithStraggler(coded, s), model, scale);
+    table.add_row({TextTable::Num(s, 1),
+                   TextTable::Num(p.stage(stage::kMap)),
+                   TextTable::Num(p.total()),
+                   TextTable::Num(c.stage(stage::kMap)),
+                   TextTable::Num(c.total()),
+                   TextTable::Num(p.total() / c.total(), 2) + "x"});
+  }
+  table.render(std::cout);
+  std::cout << "\nThe coded Map slows r x faster than the baseline's "
+               "(r x the\ndata per node), yet the speedup erodes only "
+               "gradually because\nthe serial shuffle — unaffected by "
+               "compute stragglers — still\ndominates. Integrating "
+               "[11]-style coded computation against\nstragglers is the "
+               "paper's complementary direction.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Extension: asynchronous execution (paper Section VI, third future
+// direction — "explore the impact of coding in an asynchronous setting
+// with parallel communications").
+//
+// The same measured runs are priced under three network schedules:
+//
+//   serial         — the paper's setup: one sender at a time on a
+//                    shared medium (what Tables I-III report);
+//   parallel, half duplex — every node communicates concurrently, but
+//                    a node's 100 Mbps cap covers tx + rx together;
+//   parallel, full duplex — tx and rx each get the full link.
+//
+// The punchline the extension quantifies: coding slashes *transmitted*
+// bytes but every receiver still takes delivery of its full demand, so
+// once links run in parallel the bottleneck shifts from the shared
+// medium to per-node RECEIVE occupancy — which coding does not reduce.
+// Coded TeraSort's advantage is a shared-/oversubscribed-network
+// phenomenon, and asynchronous execution shrinks it.
+// A discrete-event replay of the actual transmission logs
+// (simnet::ParallelMakespan) accompanies the closed forms: the closed
+// forms assume perfect overlap, while the replay respects the real
+// initiation order — the gap between them is the cost of the paper's
+// sender-serial ordering under a parallel network.
+#include <iostream>
+
+#include "analytics/report.h"
+#include "bench/bench_common.h"
+#include "codedterasort/coded_terasort.h"
+#include "common/table.h"
+#include "simmpi/world.h"
+#include "simnet/schedule.h"
+#include "terasort/terasort.h"
+
+int main() {
+  using namespace cts;
+  using namespace cts::bench;
+
+  const int K = 16;
+  const SortConfig base = BenchConfig(K, 1, 600'000);
+  std::cout << "=== Extension: parallel (asynchronous) shuffling (K=" << K
+            << ") ===\n";
+  PrintRunBanner(base);
+
+  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
+  const CostModel model;
+
+  const AlgorithmResult plain = RunTeraSort(base);
+  SortConfig coded_cfg = base;
+  coded_cfg.redundancy = 3;
+  const AlgorithmResult coded3 = RunCodedTeraSort(coded_cfg);
+  coded_cfg.redundancy = 5;
+  const AlgorithmResult coded5 = RunCodedTeraSort(coded_cfg);
+
+  const struct {
+    const char* name;
+    ShuffleSchedule schedule;
+  } schedules[] = {
+      {"serial (paper)", ShuffleSchedule::kSerial},
+      {"parallel half-duplex", ShuffleSchedule::kParallelHalfDuplex},
+      {"parallel full-duplex", ShuffleSchedule::kParallelFullDuplex},
+  };
+
+  for (const auto& s : schedules) {
+    std::vector<StageBreakdown> rows;
+    rows.push_back(SimulateRun(plain, model, scale, s.schedule));
+    StageBreakdown b3 = SimulateRun(coded3, model, scale, s.schedule);
+    b3.algorithm += " r=3";
+    rows.push_back(std::move(b3));
+    StageBreakdown b5 = SimulateRun(coded5, model, scale, s.schedule);
+    b5.algorithm += " r=5";
+    rows.push_back(std::move(b5));
+    BreakdownTable(s.name, rows).render(std::cout);
+    std::cout << '\n';
+  }
+
+  // Discrete-event replay of the measured logs at executed scale:
+  // closed forms assume perfect overlap; list-scheduling the real
+  // initiation order shows what the paper's sender-serial ordering
+  // actually achieves on a parallel network.
+  {
+    simnet::LinkModel link;
+    link.bytes_per_sec = model.effective_link_rate();
+    link.multicast_log_coeff = model.multicast_log_coeff;
+    TextTable table(
+        "event-driven replay of the executed logs (seconds at executed "
+        "scale, full duplex)");
+    table.set_header({"algorithm", "serial replay", "parallel replay",
+                      "parallel link bound"});
+    const struct {
+      const char* name;
+      const AlgorithmResult* result;
+    } runs[] = {{"TeraSort", &plain},
+                {"CodedTeraSort r=3", &coded3},
+                {"CodedTeraSort r=5", &coded5}};
+    for (const auto& run : runs) {
+      const auto& log = run.result->shuffle_log;
+      table.add_row(
+          {run.name,
+           TextTable::Num(simnet::SerialMakespan(log, link)),
+           TextTable::Num(
+               simnet::ParallelMakespan(log, link, K, true)),
+           TextTable::Num(
+               simnet::ParallelLinkBound(log, link, K, true))});
+    }
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+
+  std::cout << "Under parallel schedules TeraSort's shuffle already drops\n"
+               "~K-fold, while coded receivers still must take delivery of\n"
+               "their full partitions — the coding speedup narrows toward\n"
+               "(and below) 1. Coding pays when the network is serialized\n"
+               "or oversubscribed, exactly the regime the paper evaluates.\n";
+  return 0;
+}

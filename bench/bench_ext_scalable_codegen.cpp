@@ -1,0 +1,69 @@
+// Extension: scalable coding (paper Section VI, second future
+// direction — "design efficient and scalable coding procedures to
+// maintain a low coding overhead").
+//
+// The paper creates its C(K, r+1) multicast groups with one
+// MPI_Comm_split collective per group; at K=20, r=5 that is 38760
+// collectives costing 140.91 s — nearly a third of CodedTeraSort's
+// total. The batched CodeGen extension reserves communicator ids for
+// ALL groups in a single collective and lets every node derive group
+// memberships locally (MPI_Comm_create_group-style), dropping the
+// per-group cost to plan bookkeeping.
+//
+// This bench reruns Table III (K=20) under both modes, then pushes r
+// beyond the paper's cap to show the speedup the paper left on the
+// table.
+#include <iostream>
+
+#include "analytics/report.h"
+#include "bench/bench_common.h"
+#include "codedterasort/coded_terasort.h"
+#include "common/table.h"
+#include "terasort/terasort.h"
+
+int main() {
+  using namespace cts;
+  using namespace cts::bench;
+
+  const int K = 20;
+  const SortConfig base = BenchConfig(K, 1, 600'000);
+  std::cout << "=== Extension: batched CodeGen vs per-group comm splits "
+               "(K=" << K << ") ===\n";
+  PrintRunBanner(base);
+
+  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
+  const CostModel model;
+  const StageBreakdown baseline =
+      SimulateRun(RunTeraSort(base), model, scale);
+  std::cout << "TeraSort total: " << TextTable::Num(baseline.total())
+            << " s\n\n";
+
+  TextTable table("CodedTeraSort totals by CodeGen mode");
+  table.set_header({"r", "groups", "split CodeGen", "split total",
+                    "split speedup", "batched CodeGen", "batched total",
+                    "batched speedup"});
+  for (const int r : {3, 5, 6}) {
+    SortConfig config = base;
+    config.redundancy = r;
+    config.codegen_mode = CodeGenMode::kCommSplit;
+    const StageBreakdown split =
+        SimulateRun(RunCodedTeraSort(config), model, scale);
+    config.codegen_mode = CodeGenMode::kBatched;
+    const StageBreakdown batched =
+        SimulateRun(RunCodedTeraSort(config), model, scale);
+    table.add_row(
+        {std::to_string(r), std::to_string(Binomial(K, r + 1)),
+         TextTable::Num(split.stage(stage::kCodeGen)),
+         TextTable::Num(split.total()),
+         TextTable::Num(baseline.total() / split.total(), 2) + "x",
+         TextTable::Num(batched.stage(stage::kCodeGen)),
+         TextTable::Num(batched.total()),
+         TextTable::Num(baseline.total() / batched.total(), 2) + "x"});
+  }
+  table.render(std::cout);
+  std::cout << "\nBatched CodeGen removes the overhead that made r=5 barely\n"
+               "better than r=3 at K=20 (paper Table III) and lets larger r\n"
+               "keep paying off — a concrete answer to the paper's\n"
+               "'Scalable Coding' question.\n";
+  return 0;
+}

@@ -1,0 +1,199 @@
+// Microbenchmarks (google-benchmark) for the primitive operations the
+// cost model prices: hashing, serialization, sorting, the XOR codec,
+// subset combinatorics and the transport. These measure *this* host;
+// the table benches use the EC2-calibrated constants instead.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+#include "coding/codec.h"
+#include "coding/placement.h"
+#include "combinatorics/subsets.h"
+#include "common/random.h"
+#include "driver/partition_util.h"
+#include "keyvalue/partitioner.h"
+#include "keyvalue/recordio.h"
+#include "keyvalue/teragen.h"
+#include "simmpi/comm.h"
+#include "simmpi/world.h"
+
+namespace cts {
+namespace {
+
+void BM_TeraGen(benchmark::State& state) {
+  const TeraGen gen(42);
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.generate(0, n));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * kRecordBytes));
+}
+BENCHMARK(BM_TeraGen)->Arg(1000)->Arg(100000);
+
+void BM_HashPartition(benchmark::State& state) {
+  const TeraGen gen(42);
+  const auto records = gen.generate(0, 100000);
+  const RangePartitioner part(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::vector<Record>> buckets(
+        static_cast<std::size_t>(part.num_partitions()));
+    for (const Record& rec : records) {
+      buckets[static_cast<std::size_t>(part.partition(rec.key))].push_back(
+          rec);
+    }
+    benchmark::DoNotOptimize(buckets);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size() *
+                                                    kRecordBytes));
+}
+BENCHMARK(BM_HashPartition)->Arg(16)->Arg(20);
+
+void BM_PackRecords(benchmark::State& state) {
+  const TeraGen gen(42);
+  const auto records = gen.generate(0, 100000);
+  for (auto _ : state) {
+    Buffer out;
+    out.reserve(PackedSize(records.size()));
+    PackRecords(records, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size() *
+                                                    kRecordBytes));
+}
+BENCHMARK(BM_PackRecords);
+
+void BM_UnpackRecords(benchmark::State& state) {
+  const TeraGen gen(42);
+  const auto records = gen.generate(0, 100000);
+  Buffer packed;
+  PackRecords(records, packed);
+  for (auto _ : state) {
+    packed.rewind();
+    benchmark::DoNotOptimize(UnpackRecords(packed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size() *
+                                                    kRecordBytes));
+}
+BENCHMARK(BM_UnpackRecords);
+
+void BM_SortRecords(benchmark::State& state) {
+  const TeraGen gen(42);
+  const auto records = gen.generate(0, 100000);
+  for (auto _ : state) {
+    auto copy = records;
+    std::sort(copy.begin(), copy.end(), RecordLess);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records.size() *
+                                                    kRecordBytes));
+}
+BENCHMARK(BM_SortRecords);
+
+// Synthetic IV store sized like one multicast group's constituents.
+struct CodecFixture {
+  CodecFixture(int r, std::size_t iv_bytes) {
+    group = FirstSubset(r + 1);
+    Xoshiro256 rng(7);
+    for (const NodeId t : MaskToNodes(group)) {
+      const NodeMask file = WithoutNode(group, t);
+      std::vector<std::uint8_t> bytes(iv_bytes);
+      for (auto& b : bytes) b = static_cast<std::uint8_t>(rng());
+      store[{t, file}] = std::move(bytes);
+    }
+  }
+  IvAccess access() const {
+    return [this](NodeId t, NodeMask file) -> std::span<const std::uint8_t> {
+      return store.at({t, file});
+    };
+  }
+  NodeMask group;
+  std::map<std::pair<NodeId, NodeMask>, std::vector<std::uint8_t>> store;
+};
+
+void BM_EncodePacket(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const auto iv_bytes = static_cast<std::size_t>(state.range(1));
+  const CodecFixture fx(r, iv_bytes);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodePacket(fx.group, 0, fx.access()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(iv_bytes));
+}
+BENCHMARK(BM_EncodePacket)->Args({3, 1 << 16})->Args({5, 1 << 16});
+
+void BM_DecodePacket(benchmark::State& state) {
+  const int r = static_cast<int>(state.range(0));
+  const auto iv_bytes = static_cast<std::size_t>(state.range(1));
+  const CodecFixture fx(r, iv_bytes);
+  const CodedPacket packet = EncodePacket(fx.group, 0, fx.access());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DecodePacket(fx.group, 1, 0, packet, fx.access()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(iv_bytes));
+}
+BENCHMARK(BM_DecodePacket)->Args({3, 1 << 16})->Args({5, 1 << 16});
+
+void BM_SubsetEnumeration(benchmark::State& state) {
+  const int K = static_cast<int>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AllSubsets(K, r));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(Binomial(K, r)));
+}
+BENCHMARK(BM_SubsetEnumeration)->Args({16, 4})->Args({20, 6});
+
+void BM_PlacementCreate(benchmark::State& state) {
+  const int K = static_cast<int>(state.range(0));
+  const int r = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Placement::Create(K, r));
+  }
+}
+BENCHMARK(BM_PlacementCreate)->Args({16, 3})->Args({20, 5});
+
+void BM_TransportPingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  simmpi::World world(2);
+  std::atomic<bool> stop{false};
+  std::thread echo([&] {
+    simmpi::Comm comm = simmpi::Comm::World(world, 1);
+    while (true) {
+      Buffer b = comm.recv(0, 0);
+      if (b.size() == 0) break;  // empty payload = shutdown
+      comm.send(0, 1, b);
+    }
+  });
+  {
+    simmpi::Comm comm = simmpi::Comm::World(world, 0);
+    Buffer payload;
+    payload.resize(bytes);
+    for (auto _ : state) {
+      comm.send(1, 0, payload);
+      benchmark::DoNotOptimize(comm.recv(1, 1));
+    }
+    Buffer empty;
+    comm.send(1, 0, empty);
+  }
+  stop = true;
+  echo.join();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * bytes));
+}
+BENCHMARK(BM_TransportPingPong)->Arg(100)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace cts
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces paper Table I: breakdown of plain TeraSort sorting 12 GB
+// with K = 16 workers on 100 Mbps links.
+//
+//   paper:  Map 1.86 | Pack 2.35 | Shuffle 945.72 | Unpack 0.85 |
+//           Reduce 10.47 | Total 961.25  (98.4% of time in Shuffle)
+//
+// The run executes the real algorithm at reduced scale; the measured
+// byte/message counters are priced by the EC2-calibrated cost model at
+// paper scale.
+#include <iostream>
+
+#include "analytics/report.h"
+#include "bench/bench_common.h"
+#include "terasort/terasort.h"
+
+int main() {
+  using namespace cts;
+  using namespace cts::bench;
+
+  const SortConfig config = BenchConfig(/*K=*/16, /*r=*/1, 1'200'000);
+  std::cout << "=== Table I: TeraSort, 12 GB, K=16, 100 Mbps ===\n";
+  PrintRunBanner(config);
+
+  const std::vector<PaperRow> paper = {
+      {"TeraSort", -1, 1.86, 2.35, 945.72, 0.85, 10.47},
+  };
+  PaperTable("paper (Table I)", paper).render(std::cout);
+
+  const AlgorithmResult result = RunTeraSort(config);
+  const RunScale scale = PaperScale(config.num_records, kPaperRecords);
+  const StageBreakdown repro = SimulateRun(result, CostModel{}, scale);
+  BreakdownTable("reproduced", {repro}).render(std::cout);
+
+  const double shuffle_share = repro.shuffle() / repro.total();
+  std::cout << "shuffle share of total: "
+            << TextTable::Num(shuffle_share * 100, 1)
+            << "% (paper: 98.4%)\n";
+  std::cout << "shuffle / map ratio: "
+            << TextTable::Num(repro.shuffle() / repro.stage(stage::kMap), 1)
+            << "x (paper: 508.5x)\n\n";
+  PrintComparison(paper, {repro});
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Table II: sorting 12 GB with K = 16 workers at
+// 100 Mbps — TeraSort vs CodedTeraSort with r = 3 and r = 5.
+//
+//   paper speedups: 2.16x (r=3), 3.39x (r=5)
+#include <iostream>
+
+#include "analytics/report.h"
+#include "bench/bench_common.h"
+#include "codedterasort/coded_terasort.h"
+#include "terasort/terasort.h"
+
+int main() {
+  using namespace cts;
+  using namespace cts::bench;
+
+  const int K = 16;
+  const SortConfig base = BenchConfig(K, /*r=*/1, 1'200'000);
+  std::cout << "=== Table II: 12 GB, K=16, 100 Mbps ===\n";
+  PrintRunBanner(base);
+
+  const std::vector<PaperRow> paper = {
+      {"TeraSort", -1, 1.86, 2.35, 945.72, 0.85, 10.47},
+      {"CodedTeraSort r=3", 6.06, 6.03, 5.79, 412.22, 2.41, 13.05},
+      {"CodedTeraSort r=5", 23.47, 10.84, 8.10, 222.83, 3.69, 14.40},
+  };
+  PaperTable("paper (Table II)", paper).render(std::cout);
+
+  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
+  const CostModel model;
+
+  std::vector<StageBreakdown> repro;
+  repro.push_back(SimulateRun(RunTeraSort(base), model, scale));
+  for (const int r : {3, 5}) {
+    SortConfig config = base;
+    config.redundancy = r;
+    StageBreakdown b = SimulateRun(RunCodedTeraSort(config), model, scale);
+    b.algorithm += " r=" + std::to_string(r);
+    repro.push_back(std::move(b));
+  }
+  BreakdownTable("reproduced", repro).render(std::cout);
+  PrintComparison(paper, repro);
+
+  // Optional repeated trials (CTS_TRIALS > 1), mimicking the paper's
+  // 5-run averaging. The only randomness here is the workload seed.
+  if (EnvU64("CTS_TRIALS", 1) > 1) {
+    TextTable trials("repeated trials: total seconds (mean +/- std)");
+    trials.set_header({"Algorithm", "mean", "std"});
+    const auto summarize = [&](const std::string& name, int r) {
+      const auto totals = RunTrials(base, [&](std::uint64_t seed) {
+        SortConfig config = base;
+        config.seed = seed;
+        config.redundancy = r;
+        const AlgorithmResult result =
+            r > 1 ? RunCodedTeraSort(config) : RunTeraSort(config);
+        return SimulateRun(result, model, scale).total();
+      });
+      const TrialStats s = Summarize(totals);
+      trials.add_row({name, TextTable::Num(s.mean), TextTable::Num(s.stddev)});
+    };
+    summarize("TeraSort", 1);
+    for (const int r : {3, 5}) summarize("CodedTeraSort r=" + std::to_string(r), r);
+    trials.render(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Converts a measured run into the paper-scale stage breakdown.
+//
+// Pipeline: the algorithms execute for real at some scale and fill an
+// AlgorithmResult with exact work/traffic counters; SimulateRun prices
+// those counters on the paper's testbed via the CostModel, producing
+// the rows of Tables I-III. PaperScale helps the benches express "this
+// run stands for 12 GB".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/cost_model.h"
+#include "common/table.h"
+#include "driver/run_result.h"
+
+namespace cts {
+
+// One stage's simulated seconds.
+struct StageTime {
+  std::string name;
+  double seconds = 0;
+};
+
+// A priced run: ordered stage times plus the total.
+struct StageBreakdown {
+  std::string algorithm;
+  std::vector<StageTime> stages;
+
+  double total() const {
+    double t = 0;
+    for (const auto& s : stages) t += s.seconds;
+    return t;
+  }
+  double stage(const std::string& name) const;
+
+  // Paper-convention aggregates: Tables II-III merge serialization
+  // stages into "Pack/Encode" and "Unpack/Decode" columns.
+  double pack_or_encode() const;
+  double unpack_or_decode() const;
+  double shuffle() const;
+};
+
+// RunScale for a run of `executed` records that stands for a paper
+// workload of `reported` records (e.g. 12 GB = 120e6 records).
+RunScale PaperScale(std::uint64_t executed_records,
+                    std::uint64_t reported_records);
+
+// How the shuffle stage uses the network (paper Section VI, third
+// future direction — "Asynchronous Execution"):
+//   kSerial           — the paper's discipline: one sender at a time on
+//                       a shared medium; stage time = sum of all
+//                       transmissions.
+//   kParallelFullDuplex — all nodes transmit and receive concurrently
+//                       on independent full-duplex links; stage time =
+//                       max over nodes of max(tx, rx) occupancy.
+//   kParallelHalfDuplex — concurrent, but a node's NIC carries tx + rx
+//                       on one 100 Mbps budget (the tc-limited EC2
+//                       setting applies one cap to each direction
+//                       combined in the worst case).
+enum class ShuffleSchedule {
+  kSerial,
+  kParallelFullDuplex,
+  kParallelHalfDuplex,
+};
+
+// Prices every stage of `result` under `model` at `scale`. Handles both
+// algorithms: stages the run did not execute get zero rows.
+StageBreakdown SimulateRun(const AlgorithmResult& result,
+                           const CostModel& model, const RunScale& scale,
+                           ShuffleSchedule schedule = ShuffleSchedule::kSerial);
+
+// Renders breakdowns as a paper-style table: one row per run, columns
+// CodeGen / Map / Pack-Encode / Shuffle / Unpack-Decode / Reduce /
+// Total / Speedup-vs-first-row.
+TextTable BreakdownTable(const std::string& title,
+                         const std::vector<StageBreakdown>& rows);
+
+}  // namespace cts

@@ -1,0 +1,46 @@
+// CodedTeraSort (paper Section IV).
+//
+// Six stages, exactly as the paper's C++/Open MPI implementation:
+//
+//   CodeGen  — every node enumerates the N = C(K, r) file subsets and
+//              creates the C(K, r+1) multicast-group communicators via
+//              collective splits (MPI_Comm_split in the paper).
+//   Map      — node k hashes every file F_S with k in S. Of the K
+//              intermediate values per file it keeps only I^k_S (its
+//              own partition) and {I^i_S : i not in S}; values for
+//              other members of S are discarded — those nodes computed
+//              them locally (paper Fig. 5).
+//   Encode   — per multicast group M (|M| = r+1), node k serializes
+//              the relevant values and XORs r segments into the coded
+//              packet E_{M,k} (Algorithm 1).
+//   Multicast Shuffling — serial multicast: groups in colex order, and
+//              within each group members broadcast in ascending order
+//              (paper Fig. 9(b)); each packet is MPI_Bcast to the r
+//              other members.
+//   Decode   — node k cancels known segments from each received packet
+//              (Algorithm 2) and merges the r recovered segments per
+//              group into the needed intermediate value.
+//   Reduce   — node k sorts partition P_k locally (std::sort).
+//
+// Redundancy r must satisfy 1 <= r <= K. r = K degenerates to "every
+// node maps everything" (no groups, empty shuffle); r = 1 degenerates
+// to TeraSort's placement but still uses the group machinery (groups
+// of size 2, where "coded" packets carry a single segment — i.e. plain
+// unicast in multicast clothing).
+#pragma once
+
+#include "driver/cluster.h"
+#include "driver/run_result.h"
+#include "simmpi/comm.h"
+
+namespace cts {
+
+// The CodedTeraSort node program (config.redundancy = r).
+void CodedTeraSortNode(simmpi::Comm& world_comm, RunRecorder& recorder,
+                       const SortConfig& config);
+
+// Executes CodedTeraSort on a fresh simulated cluster and returns the
+// assembled result (validated for record conservation).
+AlgorithmResult RunCodedTeraSort(const SortConfig& config);
+
+}  // namespace cts

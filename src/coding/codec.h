@@ -1,0 +1,108 @@
+// The coded-shuffle XOR codec: Encoding (paper Algorithm 1) and
+// Decoding (paper Algorithm 2).
+//
+// Within a multicast group M of r+1 nodes, node u transmits one coded
+// packet
+//
+//     E_{M,u} = XOR over t in M\{u} of  I^t_{M\{t}},u
+//
+// i.e. the XOR of the u-indexed segments of the r intermediate values
+// that the *other* members need, each of which u knows from its own Map
+// work (u mapped file M\{t} for every t != u). Segments are zero-padded
+// to the longest constituent. A receiver k cancels the r-1 segments it
+// also knows and is left with I^k_{M\{k}},u — one segment of the value
+// it needs; the r packets it receives in M reassemble the whole value.
+//
+// The packet carries a small header with the byte length of every
+// constituent intermediate value. The receiver needs the length of its
+// own wanted value (which it does not know) to strip the zero padding;
+// the sender knows all constituents, so the header is the natural
+// place. Header overhead is 8r + O(1) bytes per packet and is included
+// in all traffic accounting.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "coding/segments.h"
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace cts {
+
+// Read access to a node's mapped intermediate values: returns the
+// serialized bytes of I^target_file (the KV pairs of file `file` whose
+// keys fall in partition `target`). The codec only calls this for
+// values the node is guaranteed to hold after its Map stage.
+using IvAccess =
+    std::function<std::span<const std::uint8_t>(NodeId target, NodeMask file)>;
+
+// One coded multicast packet (wire format: u32 count, count u64
+// lengths, u64 payload size, payload bytes).
+struct CodedPacket {
+  // Length of I^t_{M\{t}} for each t in M\{sender}, ascending t. The
+  // receiver k finds its own entry to learn |I^k_{M\{k}}|.
+  std::vector<std::uint64_t> iv_lengths;
+  // XOR of the zero-padded segments; length == longest segment.
+  std::vector<std::uint8_t> payload;
+
+  void serialize(Buffer& out) const;
+  static CodedPacket deserialize(Buffer& in);
+
+  // Bytes this packet occupies on the wire.
+  std::size_t wire_size() const {
+    return sizeof(std::uint32_t) +
+           iv_lengths.size() * sizeof(std::uint64_t) +
+           sizeof(std::uint64_t) + payload.size();
+  }
+};
+
+// Counters the cost model consumes (XOR work and packet handling).
+struct CodecStats {
+  std::uint64_t packets_encoded = 0;
+  std::uint64_t encode_xor_bytes = 0;  // input bytes XORed into packets
+  // Coded payload produced (sum of packet payload sizes, excluding the
+  // wire header). The simulated-time report scales this with the data
+  // size while header bytes — whose count is combinatorial in (K, r),
+  // not proportional to data — stay fixed.
+  std::uint64_t encode_payload_bytes = 0;
+  std::uint64_t packets_decoded = 0;
+  std::uint64_t decode_xor_bytes = 0;  // side-information bytes cancelled
+  std::uint64_t decoded_bytes = 0;     // useful segment bytes recovered
+
+  CodecStats& operator+=(const CodecStats& o) {
+    packets_encoded += o.packets_encoded;
+    encode_xor_bytes += o.encode_xor_bytes;
+    encode_payload_bytes += o.encode_payload_bytes;
+    packets_decoded += o.packets_decoded;
+    decode_xor_bytes += o.decode_xor_bytes;
+    decoded_bytes += o.decoded_bytes;
+    return *this;
+  }
+};
+
+// Algorithm 1 for one group: builds E_{M,self}. `group` must contain
+// `self` and have at least 2 members.
+CodedPacket EncodePacket(NodeMask group, NodeId self, const IvAccess& iv,
+                         CodecStats* stats = nullptr);
+
+// One decoded segment of the receiver's wanted value I^self_{M\{self}}.
+struct DecodedSegment {
+  SegmentSpan span;                 // where it lands within the value
+  std::vector<std::uint8_t> bytes;  // exactly span.length bytes
+};
+
+// Algorithm 2 for one packet: node `self` decodes the packet multicast
+// by `sender` within `group`, cancelling segments via `iv`.
+DecodedSegment DecodePacket(NodeMask group, NodeId self, NodeId sender,
+                            const CodedPacket& packet, const IvAccess& iv,
+                            CodecStats* stats = nullptr);
+
+// Merges the r segments recovered in a group (any order) into the full
+// serialized value I^self_{M\{self}}. Checks exact coverage.
+std::vector<std::uint8_t> MergeSegments(
+    std::span<const DecodedSegment> segments);
+
+}  // namespace cts

@@ -1,0 +1,79 @@
+#include "coding/placement.h"
+
+#include "common/check.h"
+
+namespace cts {
+
+Placement Placement::Create(int K, int r) { return Placement(K, r); }
+
+Placement::Placement(int K, int r) : k_(K), r_(r) {
+  CTS_CHECK_GE(K, 1);
+  CTS_CHECK_LE(K, kMaxNodes);
+  CTS_CHECK_GE(r, 1);
+  CTS_CHECK_LE(r, K);
+  files_ = AllSubsets(K, r);
+  node_files_.resize(static_cast<std::size_t>(K));
+  for (FileId f = 0; f < static_cast<FileId>(files_.size()); ++f) {
+    for (NodeId n : MaskToNodes(files_[static_cast<std::size_t>(f)])) {
+      node_files_[static_cast<std::size_t>(n)].push_back(f);
+    }
+  }
+  for (const auto& nf : node_files_) {
+    CTS_CHECK_EQ(nf.size(), Binomial(K - 1, r - 1));
+  }
+  if (r < K) groups_ = AllSubsets(K, r + 1);
+}
+
+int Placement::files_per_node() const {
+  return static_cast<int>(Binomial(k_ - 1, r_ - 1));
+}
+
+NodeMask Placement::file_nodes(FileId f) const {
+  CTS_CHECK_GE(f, 0);
+  CTS_CHECK_LT(f, num_files());
+  return files_[static_cast<std::size_t>(f)];
+}
+
+FileId Placement::file_of(NodeMask mask) const {
+  CTS_CHECK_EQ(Popcount(mask), r_);
+  const auto rank = ColexRank(mask);
+  CTS_CHECK_LT(rank, files_.size());
+  CTS_CHECK_EQ(files_[rank], mask);
+  return static_cast<FileId>(rank);
+}
+
+const std::vector<FileId>& Placement::files_on_node(NodeId node) const {
+  CTS_CHECK_GE(node, 0);
+  CTS_CHECK_LT(node, k_);
+  return node_files_[static_cast<std::size_t>(node)];
+}
+
+std::vector<NodeMask> Placement::groups_of_node(NodeId node) const {
+  CTS_CHECK_GE(node, 0);
+  CTS_CHECK_LT(node, k_);
+  std::vector<NodeMask> out;
+  out.reserve(Binomial(k_ - 1, r_));
+  for (NodeMask g : groups_) {
+    if (Contains(g, node)) out.push_back(g);
+  }
+  return out;
+}
+
+Placement::FileRanges Placement::SplitRecords(std::uint64_t total) const {
+  const auto n = static_cast<std::uint64_t>(num_files());
+  FileRanges ranges;
+  ranges.offset.reserve(n);
+  ranges.count.reserve(n);
+  std::uint64_t cursor = 0;
+  for (std::uint64_t f = 0; f < n; ++f) {
+    // Even split: the first (total % n) files get one extra record.
+    const std::uint64_t count = total / n + (f < total % n ? 1 : 0);
+    ranges.offset.push_back(cursor);
+    ranges.count.push_back(count);
+    cursor += count;
+  }
+  CTS_CHECK_EQ(cursor, total);
+  return ranges;
+}
+
+}  // namespace cts

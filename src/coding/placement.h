@@ -1,0 +1,70 @@
+// Structured redundant file placement (paper Section IV-A).
+//
+// For a redundancy parameter r, the input is split into N = C(K, r)
+// files; file F_S is identified with an r-subset S of nodes and placed
+// on every node of S. Every node stores C(K-1, r-1) files and every
+// r-subset of nodes shares exactly one file — the structure that the
+// coded shuffle exploits.
+//
+// FileIds are colex ranks of the subset masks, so placement is a pure
+// function of (K, r) and identical on every node with no coordination.
+// TeraSort's placement is the degenerate r = 1 case (file k on node k).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "combinatorics/subsets.h"
+#include "common/types.h"
+
+namespace cts {
+
+class Placement {
+ public:
+  // Builds the placement for K nodes with redundancy r (1 <= r <= K).
+  static Placement Create(int K, int r);
+
+  int num_nodes() const { return k_; }
+  int redundancy() const { return r_; }
+  int num_files() const { return static_cast<int>(files_.size()); }
+
+  // Files stored per node: C(K-1, r-1).
+  int files_per_node() const;
+
+  // The node subset storing file f.
+  NodeMask file_nodes(FileId f) const;
+
+  // The file shared by exactly the nodes in `mask` (|mask| must be r).
+  FileId file_of(NodeMask mask) const;
+
+  // Ascending list of files stored on `node`; size == files_per_node().
+  const std::vector<FileId>& files_on_node(NodeId node) const;
+
+  // All multicast groups: the C(K, r+1) node subsets of size r+1, in
+  // colex order (empty when r == K). Group g's communicator handles the
+  // coded exchange among its members (paper Section IV-C/D).
+  const std::vector<NodeMask>& multicast_groups() const { return groups_; }
+
+  // Groups containing `node`: C(K-1, r) masks.
+  std::vector<NodeMask> groups_of_node(NodeId node) const;
+
+  // Splits `total` records into per-file record counts: file f gets
+  // records [offsets[f], offsets[f] + counts[f]). Files sizes differ by
+  // at most one record (the paper splits "evenly").
+  struct FileRanges {
+    std::vector<std::uint64_t> offset;
+    std::vector<std::uint64_t> count;
+  };
+  FileRanges SplitRecords(std::uint64_t total) const;
+
+ private:
+  Placement(int K, int r);
+
+  int k_;
+  int r_;
+  std::vector<NodeMask> files_;                 // FileId -> subset
+  std::vector<std::vector<FileId>> node_files_; // NodeId -> file list
+  std::vector<NodeMask> groups_;                // multicast groups
+};
+
+}  // namespace cts

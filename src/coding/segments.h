@@ -1,0 +1,52 @@
+// Intermediate-value segmentation (paper eq. (7)).
+//
+// Within a multicast group M, the intermediate value I^t_{M\{t}} —
+// needed by node t and known to all r nodes of F = M\{t} — is "evenly
+// and arbitrarily split into r segments {I^t_F,k : k in F}". We fix the
+// "arbitrarily" deterministically: segments are indexed by the members
+// of F in ascending node order, and segment j of an L-byte value is the
+// byte range [floor(L*j/r), floor(L*(j+1)/r)), so all segments differ
+// in length by at most one byte.
+#pragma once
+
+#include <cstdint>
+
+#include "combinatorics/subsets.h"
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cts {
+
+// Byte range of one segment within a serialized intermediate value.
+struct SegmentSpan {
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+};
+
+// Span of the `position`-th of `r` segments of a `total_length`-byte
+// value (position in [0, r)).
+inline SegmentSpan SegmentOf(std::uint64_t total_length, int r,
+                             int position) {
+  CTS_CHECK_GE(r, 1);
+  CTS_CHECK_GE(position, 0);
+  CTS_CHECK_LT(position, r);
+  const std::uint64_t begin =
+      total_length * static_cast<std::uint64_t>(position) /
+      static_cast<std::uint64_t>(r);
+  const std::uint64_t end =
+      total_length * static_cast<std::uint64_t>(position + 1) /
+      static_cast<std::uint64_t>(r);
+  return {begin, end - begin};
+}
+
+// Position of `node` within the ascending member order of `mask`
+// (i.e. the segment index assigned to `node` for values of file
+// `mask`). Precondition: node is a member.
+inline int SegmentPosition(NodeMask mask, NodeId node) {
+  CTS_CHECK_MSG(Contains(mask, node),
+                "node " << node << " not in mask " << mask);
+  const NodeMask below = mask & ((NodeMask{1} << node) - 1);
+  return Popcount(below);
+}
+
+}  // namespace cts

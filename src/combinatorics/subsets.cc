@@ -1,0 +1,113 @@
+#include "combinatorics/subsets.h"
+
+namespace cts {
+
+std::uint64_t Binomial(int n, int k) {
+  CTS_CHECK_GE(n, 0);
+  if (k < 0 || k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is exact at every step because the
+    // product of i consecutive integers is divisible by i!.
+    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    CTS_CHECK_MSG(result <= ~std::uint64_t{0} / num,
+                  "Binomial overflow at C(" << n << "," << k << ")");
+    result = result * num / static_cast<std::uint64_t>(i);
+  }
+  return result;
+}
+
+std::vector<NodeMask> AllSubsets(int K, int r) {
+  CTS_CHECK_GE(K, 0);
+  CTS_CHECK_LE(K, kMaxNodes);
+  CTS_CHECK_GE(r, 0);
+  CTS_CHECK_LE(r, K);
+  std::vector<NodeMask> out;
+  out.reserve(Binomial(K, r));
+  if (r == 0) {
+    out.push_back(0u);
+    return out;
+  }
+  const NodeMask limit =
+      (K >= 32) ? ~NodeMask{0} : ((NodeMask{1} << K) - 1);
+  for (NodeMask m = FirstSubset(r); m <= limit;
+       m = NextSubsetSameSize(m)) {
+    out.push_back(m);
+    // Gosper's hack overflows toward larger masks; stop once the next
+    // mask would exceed the K-node universe (also guards m == limit).
+    if (m == limit || NextSubsetSameSize(m) < m) break;
+  }
+  CTS_CHECK_EQ(out.size(), Binomial(K, r));
+  return out;
+}
+
+std::vector<NodeMask> SubsetsContaining(int K, int r, NodeId node) {
+  CTS_CHECK_GE(node, 0);
+  CTS_CHECK_LT(node, K);
+  CTS_CHECK_GE(r, 1);
+  std::vector<NodeMask> out;
+  out.reserve(Binomial(K - 1, r - 1));
+  for (NodeMask m : AllSubsets(K, r)) {
+    if (Contains(m, node)) out.push_back(m);
+  }
+  CTS_CHECK_EQ(out.size(), Binomial(K - 1, r - 1));
+  return out;
+}
+
+std::uint64_t ColexRank(NodeMask mask) {
+  // rank = sum over the i-th smallest member b_i (i = 1..r, ascending)
+  // of C(b_i, i).
+  std::uint64_t rank = 0;
+  int i = 1;
+  NodeMask m = mask;
+  while (m != 0) {
+    const int bit = std::countr_zero(m);
+    rank += Binomial(bit, i);
+    ++i;
+    m &= m - 1;
+  }
+  return rank;
+}
+
+NodeMask ColexUnrank(int K, int r, std::uint64_t rank) {
+  CTS_CHECK_LT(rank, Binomial(K, r));
+  NodeMask mask = 0;
+  std::uint64_t remaining = rank;
+  // Choose members from the largest down: the r-th (largest) member is
+  // the greatest b with C(b, r) <= remaining.
+  int bound = K - 1;
+  for (int i = r; i >= 1; --i) {
+    int b = bound;
+    while (Binomial(b, i) > remaining) --b;
+    mask = WithNode(mask, b);
+    remaining -= Binomial(b, i);
+    bound = b - 1;
+  }
+  CTS_CHECK_EQ(ColexRank(mask), rank);
+  return mask;
+}
+
+std::vector<NodeId> MaskToNodes(NodeMask mask) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(Popcount(mask));
+  NodeMask m = mask;
+  while (m != 0) {
+    nodes.push_back(std::countr_zero(m));
+    m &= m - 1;
+  }
+  return nodes;
+}
+
+NodeMask NodesToMask(const std::vector<NodeId>& nodes) {
+  NodeMask mask = 0;
+  for (NodeId n : nodes) {
+    CTS_CHECK_GE(n, 0);
+    CTS_CHECK_LT(n, kMaxNodes);
+    CTS_CHECK_MSG(!Contains(mask, n), "duplicate node " << n);
+    mask = WithNode(mask, n);
+  }
+  return mask;
+}
+
+}  // namespace cts

@@ -1,0 +1,78 @@
+// Node-subset combinatorics.
+//
+// CodedTeraSort identifies an input file with an r-subset S of the K
+// nodes (the file F_S is placed on every node in S), and a multicast
+// group with an (r+1)-subset M. This module represents subsets as
+// 32-bit node bitmasks and provides:
+//   * binomial coefficients C(n, k),
+//   * enumeration of all size-r subsets in colexicographic order
+//     (Gosper's hack), which doubles as a dense FileId <-> subset
+//     bijection via colex (un)ranking,
+//   * mask <-> node-list conversions.
+//
+// Colex order of masks coincides with ascending numeric order of the
+// masks themselves, so FileId assignment is stable and independent of
+// how a subset was produced.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace cts {
+
+// C(n, k) as exact 64-bit arithmetic. Valid for the ranges this library
+// uses (n <= 64 and results < 2^63); checked against overflow.
+std::uint64_t Binomial(int n, int k);
+
+// Smallest mask with r bits set: {0, 1, ..., r-1}.
+inline NodeMask FirstSubset(int r) {
+  return r == 0 ? 0u : (r >= 32 ? ~NodeMask{0} : ((NodeMask{1} << r) - 1));
+}
+
+// Gosper's hack: the next mask with the same popcount, in ascending
+// numeric (= colex) order. Precondition: mask != 0.
+inline NodeMask NextSubsetSameSize(NodeMask mask) {
+  const NodeMask c = mask & static_cast<NodeMask>(-static_cast<std::int64_t>(mask));
+  const NodeMask rr = mask + c;
+  return (((rr ^ mask) >> 2) / c) | rr;
+}
+
+inline int Popcount(NodeMask mask) { return std::popcount(mask); }
+
+inline bool Contains(NodeMask mask, NodeId node) {
+  return (mask >> node) & 1u;
+}
+
+inline NodeMask WithNode(NodeMask mask, NodeId node) {
+  return mask | (NodeMask{1} << node);
+}
+
+inline NodeMask WithoutNode(NodeMask mask, NodeId node) {
+  return mask & ~(NodeMask{1} << node);
+}
+
+// All size-r subsets of {0..K-1} in colex order. Size = C(K, r).
+std::vector<NodeMask> AllSubsets(int K, int r);
+
+// All size-r subsets of {0..K-1} that contain `node`, in colex order.
+// Size = C(K-1, r-1).
+std::vector<NodeMask> SubsetsContaining(int K, int r, NodeId node);
+
+// Colex rank of `mask` among all masks of equal popcount: the number of
+// same-size masks that are numerically smaller. Inverse of ColexUnrank.
+std::uint64_t ColexRank(NodeMask mask);
+
+// The rank-th (0-based) size-r subset of {0..K-1} in colex order.
+NodeMask ColexUnrank(int K, int r, std::uint64_t rank);
+
+// Ascending list of member nodes of `mask`.
+std::vector<NodeId> MaskToNodes(NodeMask mask);
+
+// Mask from a list of distinct node ids (order-insensitive).
+NodeMask NodesToMask(const std::vector<NodeId>& nodes);
+
+}  // namespace cts

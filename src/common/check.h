@@ -1,0 +1,76 @@
+// Invariant checking for the coded-terasort libraries.
+//
+// CTS_CHECK is always-on (release builds included): distributed-sorting
+// invariants (placement coverage, decode consistency, partition ownership)
+// are cheap relative to the data volumes they guard, and a silent
+// violation would corrupt sorted output. Failures throw cts::CheckError
+// carrying the failing expression and location so tests can assert on
+// them and drivers can surface them per node.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cts {
+
+// Error thrown when a CTS_CHECK invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+// Stream-style message builder used by the CTS_CHECK macro family; the
+// destructor of the macro expansion never runs — FailCheck always throws.
+[[noreturn]] inline void FailCheck(const char* expr, const char* file,
+                                   int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CTS_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace cts
+
+// Always-on invariant check. Usage: CTS_CHECK(a == b);
+#define CTS_CHECK(expr)                                               \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::cts::internal::FailCheck(#expr, __FILE__, __LINE__, "");      \
+    }                                                                 \
+  } while (0)
+
+// Invariant check with a streamed context message.
+// Usage: CTS_CHECK_MSG(a == b, "node " << k << " mismatched");
+#define CTS_CHECK_MSG(expr, stream_expr)                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream cts_check_os_;                               \
+      cts_check_os_ << stream_expr;                                   \
+      ::cts::internal::FailCheck(#expr, __FILE__, __LINE__,           \
+                                 cts_check_os_.str());                \
+    }                                                                 \
+  } while (0)
+
+// Binary comparison checks that print both operands on failure.
+#define CTS_CHECK_OP(op, a, b)                                        \
+  do {                                                                \
+    auto&& cts_a_ = (a);                                              \
+    auto&& cts_b_ = (b);                                              \
+    if (!(cts_a_ op cts_b_)) {                                        \
+      std::ostringstream cts_check_os_;                               \
+      cts_check_os_ << "lhs=" << cts_a_ << " rhs=" << cts_b_;         \
+      ::cts::internal::FailCheck(#a " " #op " " #b, __FILE__,         \
+                                 __LINE__, cts_check_os_.str());      \
+    }                                                                 \
+  } while (0)
+
+#define CTS_CHECK_EQ(a, b) CTS_CHECK_OP(==, a, b)
+#define CTS_CHECK_NE(a, b) CTS_CHECK_OP(!=, a, b)
+#define CTS_CHECK_LT(a, b) CTS_CHECK_OP(<, a, b)
+#define CTS_CHECK_LE(a, b) CTS_CHECK_OP(<=, a, b)
+#define CTS_CHECK_GT(a, b) CTS_CHECK_OP(>, a, b)
+#define CTS_CHECK_GE(a, b) CTS_CHECK_OP(>=, a, b)

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation.
+//
+// All data generation in this repo (TeraGen records, property-test
+// inputs, workload skews) flows through these generators so every run is
+// reproducible from a single 64-bit seed. splitmix64 is used for seeding
+// and for per-record keyed generation (TeraGen-style "record i is a pure
+// function of (seed, i)"); xoshiro256** is the general-purpose stream
+// generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cts {
+
+// One splitmix64 step: maps any 64-bit value to a well-mixed 64-bit
+// value. Suitable as a keyed hash for deterministic record generation.
+inline std::uint64_t SplitMix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of a single value (e.g. hash of a record index).
+inline std::uint64_t Mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return SplitMix64(s);
+}
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+// implementation, re-typed). Fast, high-quality, 2^256-1 period.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x5eedc0dedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t below(std::uint64_t n) {
+    if (n == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>((*this)()) * n;
+    std::uint64_t lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>((*this)()) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace cts

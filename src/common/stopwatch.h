@@ -1,0 +1,41 @@
+// Wall-clock stage timing. Both sorting algorithms report a per-stage
+// breakdown; the driver pairs these wall times with model-derived
+// simulated times (see analytics/cost_model.h).
+#pragma once
+
+#include <chrono>
+
+namespace cts {
+
+// Monotonic stopwatch measuring seconds as double.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last restart().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates wall time across start/stop segments (e.g. a stage that a
+// node enters and leaves several times).
+class Accumulator {
+ public:
+  void start() { watch_.restart(); }
+  void stop() { total_ += watch_.elapsed(); }
+  double total() const { return total_; }
+  void reset() { total_ = 0.0; }
+
+ private:
+  Stopwatch watch_;
+  double total_ = 0.0;
+};
+
+}  // namespace cts

@@ -1,0 +1,88 @@
+// Plain-text table formatting for the benchmark harnesses. Each table
+// bench prints the same rows the paper reports, so the output format
+// matters: fixed-width columns, right-aligned numerics, a title line.
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cts {
+
+// Builds and renders a fixed-width text table.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+  }
+
+  void add_row(std::vector<std::string> row) {
+    if (!header_.empty()) CTS_CHECK_EQ(row.size(), header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  // Convenience: format a double with fixed precision.
+  static std::string Num(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void render(std::ostream& os) const {
+    std::vector<std::size_t> width(columns(), 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (row[i].size() > width[i]) width[i] = row[i].size();
+      }
+    };
+    if (!header_.empty()) widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    os << "== " << title_ << " ==\n";
+    auto line = [&] {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        os << '+' << std::string(width[i] + 2, '-');
+      }
+      os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string>& row) {
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        os << "| " << std::setw(static_cast<int>(width[i])) << row[i] << ' ';
+      }
+      os << "|\n";
+    };
+    line();
+    if (!header_.empty()) {
+      emit(header_);
+      line();
+    }
+    for (const auto& r : rows_) emit(r);
+    line();
+  }
+
+  std::string to_string() const {
+    std::ostringstream os;
+    render(os);
+    return os.str();
+  }
+
+ private:
+  std::size_t columns() const {
+    if (!header_.empty()) return header_.size();
+    std::size_t c = 0;
+    for (const auto& r : rows_) c = std::max(c, r.size());
+    return c;
+  }
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cts

@@ -1,0 +1,28 @@
+// Shared scalar types and small constants for the coded-terasort
+// libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace cts {
+
+// Index of a worker node in the cluster, 0-based. The paper uses
+// 1-based node labels K = {1, ..., K}; all code here is 0-based and the
+// docs note the shift where a paper figure is reproduced verbatim.
+using NodeId = int;
+
+// Index of a key-domain partition (== reducer index). Partition p is
+// reduced by node p in both TeraSort and CodedTeraSort.
+using PartitionId = int;
+
+// Index of an input file. For TeraSort files are 0..K-1; for
+// CodedTeraSort files are colex ranks of r-subsets, 0..C(K,r)-1.
+using FileId = int;
+
+// Bitmask over nodes; bit k set means node k is a member. The library
+// supports at most kMaxNodes nodes so a subset always fits in 32 bits.
+using NodeMask = std::uint32_t;
+
+inline constexpr int kMaxNodes = 32;
+
+}  // namespace cts

@@ -1,0 +1,43 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace cts {
+
+namespace {
+
+std::string WithUnit(double value, const char* unit, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << ' ' << unit;
+  return os.str();
+}
+
+}  // namespace
+
+std::string HumanBytes(double bytes) {
+  const double b = std::abs(bytes);
+  if (b >= kGB) return WithUnit(bytes / kGB, "GB", 2);
+  if (b >= kMB) return WithUnit(bytes / kMB, "MB", 2);
+  if (b >= kKB) return WithUnit(bytes / kKB, "kB", 2);
+  return WithUnit(bytes, "B", 0);
+}
+
+std::string HumanRate(double bytes_per_second) {
+  const double bits = bytes_per_second * 8.0;
+  if (bits >= 1e9) return WithUnit(bits / 1e9, "Gbps", 2);
+  if (bits >= 1e6) return WithUnit(bits / 1e6, "Mbps", 1);
+  if (bits >= 1e3) return WithUnit(bits / 1e3, "kbps", 1);
+  return WithUnit(bits, "bps", 0);
+}
+
+std::string HumanSeconds(double seconds) {
+  const double s = std::abs(seconds);
+  if (s >= 1.0) return WithUnit(seconds, "s", 2);
+  if (s >= 1e-3) return WithUnit(seconds * 1e3, "ms", 2);
+  if (s >= 1e-6) return WithUnit(seconds * 1e6, "us", 2);
+  return WithUnit(seconds * 1e9, "ns", 0);
+}
+
+}  // namespace cts

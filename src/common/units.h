@@ -1,0 +1,26 @@
+// Byte-count and rate units, plus human-readable formatting used by the
+// bench harnesses and reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cts {
+
+inline constexpr double kKB = 1000.0;
+inline constexpr double kMB = 1000.0 * 1000.0;
+inline constexpr double kGB = 1000.0 * 1000.0 * 1000.0;
+
+// Network rates are quoted in bits/s in the paper (100 Mbps links).
+inline constexpr double kMbps = 1000.0 * 1000.0 / 8.0;  // bytes per second
+
+// "12.0 GB", "750.0 MB", "1.3 kB", "17 B".
+std::string HumanBytes(double bytes);
+
+// "100.0 Mbps" from a rate in bytes/second.
+std::string HumanRate(double bytes_per_second);
+
+// "945.72 s", "85 ms", "120 us".
+std::string HumanSeconds(double seconds);
+
+}  // namespace cts

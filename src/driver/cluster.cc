@@ -1,0 +1,31 @@
+#include "driver/cluster.h"
+
+#include <exception>
+#include <thread>
+
+namespace cts {
+
+void RunOnCluster(simmpi::World& world, RunRecorder& recorder,
+                  const NodeProgram& program) {
+  const int K = world.num_nodes();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(K));
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(K));
+
+  for (NodeId node = 0; node < K; ++node) {
+    threads.emplace_back([&, node] {
+      try {
+        simmpi::Comm comm = simmpi::Comm::World(world, node);
+        program(comm, recorder);
+      } catch (...) {
+        errors[static_cast<std::size_t>(node)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace cts

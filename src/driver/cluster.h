@@ -1,0 +1,114 @@
+// Cluster execution harness.
+//
+// Replaces the paper's coordinator + K EC2 workers: the coordinator is
+// the calling thread, and each worker node is an OS thread running the
+// node program against its world communicator. RunRecorder is the
+// shared-memory side channel the harness (not the algorithms) uses to
+// collect outputs, counters and timings — the algorithms themselves
+// only communicate through simmpi.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "driver/run_result.h"
+#include "simmpi/comm.h"
+#include "simmpi/world.h"
+
+namespace cts {
+
+// Thread-safe collection of per-node results during a run.
+class RunRecorder {
+ public:
+  explicit RunRecorder(int num_nodes)
+      : partitions_(static_cast<std::size_t>(num_nodes)),
+        work_(static_cast<std::size_t>(num_nodes)) {}
+
+  void record_wall(const std::string& stage, NodeId node, double seconds) {
+    std::lock_guard lock(mu_);
+    auto& per_node = wall_[stage];
+    per_node.resize(std::max(per_node.size(),
+                             static_cast<std::size_t>(node) + 1));
+    per_node[static_cast<std::size_t>(node)] = seconds;
+  }
+
+  void set_partition(NodeId node, std::vector<Record> records) {
+    std::lock_guard lock(mu_);
+    partitions_[static_cast<std::size_t>(node)] = std::move(records);
+  }
+
+  void set_work(NodeId node, const NodeWork& work) {
+    std::lock_guard lock(mu_);
+    work_[static_cast<std::size_t>(node)] = work;
+  }
+
+  // Max-over-nodes wall seconds per stage.
+  std::map<std::string, double> wall_max() const {
+    std::lock_guard lock(mu_);
+    std::map<std::string, double> out;
+    for (const auto& [stage, per_node] : wall_) {
+      double mx = 0;
+      for (double s : per_node) mx = std::max(mx, s);
+      out[stage] = mx;
+    }
+    return out;
+  }
+
+  std::vector<std::vector<Record>> take_partitions() {
+    std::lock_guard lock(mu_);
+    return std::move(partitions_);
+  }
+
+  std::vector<NodeWork> work() const {
+    std::lock_guard lock(mu_);
+    return work_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<double>> wall_;
+  std::vector<std::vector<Record>> partitions_;
+  std::vector<NodeWork> work_;
+};
+
+// Runs `program(comm, recorder)` on one thread per node of a fresh
+// World and returns after all threads join. The first per-node
+// exception (if any) is rethrown on the calling thread.
+using NodeProgram =
+    std::function<void(simmpi::Comm& world_comm, RunRecorder& recorder)>;
+
+void RunOnCluster(simmpi::World& world, RunRecorder& recorder,
+                  const NodeProgram& program);
+
+// Stage sequencing helper used inside node programs. Stages execute
+// under a barrier-delimited protocol: everyone finishes the previous
+// stage, rank 0 labels the traffic stats, everyone starts — matching
+// the paper's synchronous stage-after-stage execution.
+class StageRunner {
+ public:
+  StageRunner(simmpi::World& world, simmpi::Comm& world_comm,
+              RunRecorder& recorder)
+      : world_(world), comm_(world_comm), recorder_(recorder) {}
+
+  template <typename Fn>
+  void run(const std::string& name, Fn&& body) {
+    comm_.barrier();  // previous stage fully drained
+    if (comm_.rank() == 0) world_.stats().set_stage(name);
+    comm_.barrier();  // label visible before any traffic
+    Stopwatch watch;
+    body();
+    recorder_.record_wall(name, comm_.my_global(), watch.elapsed());
+  }
+
+ private:
+  simmpi::World& world_;
+  simmpi::Comm& comm_;
+  RunRecorder& recorder_;
+};
+
+}  // namespace cts

@@ -1,0 +1,54 @@
+#include "keyvalue/recordio.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace cts {
+
+std::size_t PackRecords(std::span<const Record> records, Buffer& out) {
+  const std::size_t before = out.size();
+  out.write_u64(records.size());
+  if (!records.empty()) {
+    out.write_bytes(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(records.data()),
+        records.size() * kRecordBytes));
+  }
+  return out.size() - before;
+}
+
+std::vector<Record> UnpackRecords(Buffer& in) {
+  std::vector<Record> out;
+  UnpackRecordsInto(in, out);
+  return out;
+}
+
+void UnpackRecordsInto(Buffer& in, std::vector<Record>& out) {
+  const std::uint64_t n = in.read_u64();
+  CTS_CHECK_MSG(n * kRecordBytes <= in.remaining(),
+                "truncated record list: " << n << " records but only "
+                                          << in.remaining() << " bytes");
+  const std::size_t old = out.size();
+  out.resize(old + n);
+  if (n > 0) {
+    const auto view = in.read_view(n * kRecordBytes);
+    std::memcpy(out.data() + old, view.data(), view.size());
+  }
+}
+
+bool IsSorted(std::span<const Record> records) {
+  return std::is_sorted(records.begin(), records.end(), RecordLess);
+}
+
+bool IsSortedPermutationOf(std::span<const Record> input,
+                           std::span<const Record> sorted) {
+  if (input.size() != sorted.size()) return false;
+  if (!IsSorted(sorted)) return false;
+  std::vector<Record> expected(input.begin(), input.end());
+  std::sort(expected.begin(), expected.end(), RecordLess);
+  return std::equal(expected.begin(), expected.end(), sorted.begin(),
+                    sorted.end());
+}
+
+}  // namespace cts

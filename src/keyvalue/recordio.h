@@ -1,0 +1,45 @@
+// Record serialization (the Pack/Unpack stages).
+//
+// The paper's TeraSort implementation adds explicit Pack/Unpack stages:
+// Pack serializes each intermediate value into one contiguous memory
+// array so a single TCP flow carries it (one MPI_Send per intermediate
+// value), and Unpack deserializes received bytes back into a KV list.
+// The wire format is a u64 record count followed by the flat 100-byte
+// records.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "keyvalue/record.h"
+
+namespace cts {
+
+// Serializes records into `out` (appending). Returns bytes written.
+std::size_t PackRecords(std::span<const Record> records, Buffer& out);
+
+// Deserializes one packed record list from `in`'s cursor.
+std::vector<Record> UnpackRecords(Buffer& in);
+
+// Appends one packed record list from `in`'s cursor into `out`
+// (avoids an intermediate vector when merging many shuffle payloads).
+void UnpackRecordsInto(Buffer& in, std::vector<Record>& out);
+
+// Size in bytes that PackRecords will produce for n records.
+inline std::size_t PackedSize(std::size_t n) {
+  return sizeof(std::uint64_t) + n * kRecordBytes;
+}
+
+// ---- Validation helpers (used by tests and examples) ----
+
+// True iff records are sorted by RecordLess.
+bool IsSorted(std::span<const Record> records);
+
+// True iff `sorted` is a permutation of `input` and sorted. Both
+// arguments are copied and canonicalized internally; sizes up to a few
+// million records are fine.
+bool IsSortedPermutationOf(std::span<const Record> input,
+                           std::span<const Record> sorted);
+
+}  // namespace cts

@@ -1,0 +1,83 @@
+#include "keyvalue/teravalidate.h"
+
+#include <sstream>
+
+#include "common/random.h"
+
+namespace cts {
+
+namespace {
+
+// Keyed hash of a full record; both XOR- and sum-accumulating the
+// same hash makes pair swaps and duplications visible.
+std::uint64_t HashRecord(const Record& record) {
+  std::uint64_t h = 0x7265636f72642121ULL;  // "record!!"
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&record);
+  for (std::size_t i = 0; i < kRecordBytes; i += 8) {
+    std::uint64_t chunk = 0;
+    for (std::size_t j = 0; j < 8 && i + j < kRecordBytes; ++j) {
+      chunk |= static_cast<std::uint64_t>(bytes[i + j]) << (8 * j);
+    }
+    h = Mix64(h ^ chunk);
+  }
+  return h;
+}
+
+}  // namespace
+
+void RecordChecksum::add(const Record& record) {
+  const std::uint64_t h = HashRecord(record);
+  xor_hash ^= h;
+  sum_hash += h;
+  ++count;
+}
+
+void RecordChecksum::merge(const RecordChecksum& other) {
+  xor_hash ^= other.xor_hash;
+  sum_hash += other.sum_hash;
+  count += other.count;
+}
+
+RecordChecksum ChecksumOfInput(const TeraGen& gen, std::uint64_t count) {
+  RecordChecksum sum;
+  for (std::uint64_t i = 0; i < count; ++i) sum.add(gen.record(i));
+  return sum;
+}
+
+RecordChecksum ChecksumOfRecords(std::span<const Record> records) {
+  RecordChecksum sum;
+  for (const Record& r : records) sum.add(r);
+  return sum;
+}
+
+ValidationReport ValidatePartitions(
+    std::span<const std::vector<Record>> partitions,
+    const RecordChecksum& expected) {
+  RecordChecksum actual;
+  const Record* previous = nullptr;
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    for (std::size_t i = 0; i < partitions[p].size(); ++i) {
+      const Record& rec = partitions[p][i];
+      if (previous != nullptr && RecordLess(rec, *previous)) {
+        std::ostringstream os;
+        os << "order violation at partition " << p << " index " << i;
+        return ValidationReport::Fail(os.str());
+      }
+      previous = &rec;
+      actual.add(rec);
+    }
+  }
+  if (actual.count != expected.count) {
+    std::ostringstream os;
+    os << "record count mismatch: got " << actual.count << ", expected "
+       << expected.count;
+    return ValidationReport::Fail(os.str());
+  }
+  if (!(actual == expected)) {
+    return ValidationReport::Fail(
+        "checksum mismatch: output is not a permutation of the input");
+  }
+  return ValidationReport::Ok();
+}
+
+}  // namespace cts

@@ -1,0 +1,201 @@
+#include "simmpi/comm.h"
+
+#include "combinatorics/subsets.h"
+
+#include <algorithm>
+
+namespace cts::simmpi {
+
+Comm Comm::World(class World& world, NodeId self) {
+  CTS_CHECK_GE(self, 0);
+  CTS_CHECK_LT(self, world.num_nodes());
+  auto members = std::make_shared<std::vector<NodeId>>();
+  members->reserve(static_cast<std::size_t>(world.num_nodes()));
+  for (NodeId n = 0; n < world.num_nodes(); ++n) members->push_back(n);
+  return Comm(&world, /*id=*/0, std::move(members), /*rank=*/self);
+}
+
+int Comm::rank_of_global(NodeId node) const {
+  const auto it = std::find(members_->begin(), members_->end(), node);
+  if (it == members_->end()) return -1;
+  return static_cast<int>(it - members_->begin());
+}
+
+void Comm::deliver(int dst_rank, Tag tag,
+                   std::span<const std::uint8_t> payload) {
+  Buffer copy;
+  copy.write_bytes(payload);
+  world_->mailbox(global(dst_rank)).deliver(id_, my_global(), tag,
+                                            std::move(copy));
+}
+
+void Comm::send(int dst_rank, Tag tag,
+                std::span<const std::uint8_t> payload) {
+  CTS_CHECK_MSG(dst_rank != rank_, "send to self (rank " << rank_ << ")");
+  CTS_CHECK_GE(tag, 0);  // negative tags are reserved for collectives
+  world_->stats().record_unicast(payload.size(), my_global(),
+                                 global(dst_rank));
+  deliver(dst_rank, tag, payload);
+}
+
+Buffer Comm::recv(int src_rank, Tag tag) {
+  CTS_CHECK_GE(src_rank, 0);
+  CTS_CHECK_LT(src_rank, size());
+  CTS_CHECK_MSG(src_rank != rank_, "recv from self (rank " << rank_ << ")");
+  return world_->mailbox(my_global()).receive(id_, global(src_rank), tag);
+}
+
+void Comm::bcast(int root_rank, Buffer& payload) {
+  CTS_CHECK_GE(root_rank, 0);
+  CTS_CHECK_LT(root_rank, size());
+  if (size() == 1) return;
+  if (rank_ == root_rank) {
+    // Application-layer multicast: account a single transmission with
+    // fan-out size()-1 (the serial shared channel carries it once; the
+    // cost model adds the MPI_Bcast log-fanout penalty).
+    std::vector<NodeId> recipients;
+    recipients.reserve(static_cast<std::size_t>(size()) - 1);
+    for (int m = 0; m < size(); ++m) {
+      if (m != rank_) recipients.push_back(global(m));
+    }
+    world_->stats().record_multicast(payload.size(), size() - 1,
+                                     my_global(), recipients);
+    for (int m = 0; m < size(); ++m) {
+      if (m == rank_) continue;
+      deliver(m, kTagBcast, payload.span());
+    }
+  } else {
+    payload = world_->mailbox(my_global())
+                  .receive(id_, global(root_rank), kTagBcast);
+  }
+}
+
+void Comm::barrier() {
+  if (size() == 1) return;
+  const Buffer token;
+  if (rank_ == 0) {
+    for (int m = 1; m < size(); ++m) {
+      (void)world_->mailbox(my_global()).receive(id_, global(m), kTagBarrier);
+    }
+    for (int m = 1; m < size(); ++m) deliver(m, kTagBarrier, token.span());
+  } else {
+    deliver(0, kTagBarrier, token.span());
+    (void)world_->mailbox(my_global()).receive(id_, global(0), kTagBarrier);
+  }
+}
+
+std::vector<Buffer> Comm::gather(int root_rank, const Buffer& payload) {
+  CTS_CHECK_GE(root_rank, 0);
+  CTS_CHECK_LT(root_rank, size());
+  std::vector<Buffer> out;
+  if (rank_ == root_rank) {
+    out.resize(static_cast<std::size_t>(size()));
+    out[static_cast<std::size_t>(rank_)] = payload.Clone();
+    for (int m = 0; m < size(); ++m) {
+      if (m == rank_) continue;
+      out[static_cast<std::size_t>(m)] =
+          world_->mailbox(my_global()).receive(id_, global(m), kTagGather);
+    }
+  } else {
+    deliver(root_rank, kTagGather, payload.span());
+  }
+  return out;
+}
+
+Buffer Comm::sendrecv(int peer_rank, Tag tag, const Buffer& payload) {
+  send(peer_rank, tag, payload);
+  return recv(peer_rank, tag);
+}
+
+std::vector<Buffer> Comm::allgather(const Buffer& payload) {
+  // Naive exchange: every member unicasts to every other member. With
+  // eager-buffered sends this is deadlock-free regardless of pacing.
+  std::vector<Buffer> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(rank_)] = payload.Clone();
+  for (int m = 0; m < size(); ++m) {
+    if (m == rank_) continue;
+    send(m, kTagAllgatherUser, payload);
+  }
+  for (int m = 0; m < size(); ++m) {
+    if (m == rank_) continue;
+    out[static_cast<std::size_t>(m)] = recv(m, kTagAllgatherUser);
+  }
+  return out;
+}
+
+Buffer Comm::scatter(int root_rank, std::vector<Buffer> parts) {
+  CTS_CHECK_GE(root_rank, 0);
+  CTS_CHECK_LT(root_rank, size());
+  if (rank_ == root_rank) {
+    CTS_CHECK_EQ(static_cast<int>(parts.size()), size());
+    for (int m = 0; m < size(); ++m) {
+      if (m == rank_) continue;
+      send(m, kTagScatterUser, parts[static_cast<std::size_t>(m)]);
+    }
+    return std::move(parts[static_cast<std::size_t>(rank_)]);
+  }
+  CTS_CHECK_MSG(parts.empty(), "non-root scatter callers pass no parts");
+  return recv(root_rank, kTagScatterUser);
+}
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t value) {
+  Buffer mine;
+  mine.write_u64(value);
+  std::uint64_t total = 0;
+  for (Buffer& b : allgather(mine)) total += b.read_u64();
+  return total;
+}
+
+std::map<NodeMask, Comm> Comm::create_groups(
+    const std::vector<NodeMask>& groups) {
+  // One collective round: rank 0 reserves a contiguous id block and
+  // broadcasts the base; every member then derives every group's id
+  // and membership locally. This replaces |groups| full collectives
+  // with a single one — the point of the extension.
+  Buffer base_msg;
+  if (rank_ == 0) {
+    const CommId base = world_->allocate_comm_id_block(
+        static_cast<CommId>(groups.size()));
+    base_msg.write_u32(base);
+    world_->stats().record_comm_creation(groups.size());
+  }
+  bcast(0, base_msg);
+  base_msg.rewind();
+  const CommId base = base_msg.read_u32();
+
+  std::map<NodeMask, Comm> mine;
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    const NodeMask mask = groups[i];
+    CTS_CHECK_MSG((mask & ~NodesToMask(*members_)) == 0,
+                  "group mask " << mask << " has non-members");
+    if (!Contains(mask, my_global())) continue;
+    auto members = std::make_shared<const std::vector<NodeId>>(
+        MaskToNodes(mask));
+    const auto it =
+        std::find(members->begin(), members->end(), my_global());
+    const int rank = static_cast<int>(it - members->begin());
+    mine.emplace(mask, Comm(world_, base + static_cast<CommId>(i),
+                            std::move(members), rank));
+  }
+  // Synchronize so no member races ahead and messages a group comm a
+  // laggard has not constructed (harmless with mailboxes, but keeps
+  // the collective contract of MPI_Comm_create_group).
+  barrier();
+  return mine;
+}
+
+std::optional<Comm> Comm::split(int color, int key) {
+  const std::uint64_t epoch = split_epoch_++;
+  const auto result = world_->split_rendezvous(id_, epoch, size(),
+                                               my_global(), color, key);
+  if (!result.has_value()) return std::nullopt;
+  auto members =
+      std::make_shared<const std::vector<NodeId>>(result->members);
+  const auto it =
+      std::find(members->begin(), members->end(), my_global());
+  CTS_CHECK(it != members->end());
+  const int rank = static_cast<int>(it - members->begin());
+  return Comm(world_, result->comm_id, std::move(members), rank);
+}
+
+}  // namespace cts::simmpi

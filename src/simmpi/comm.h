@@ -1,0 +1,137 @@
+// MPI-flavoured communicator over the in-memory transport.
+//
+// This is the substrate the two sorting algorithms are written against,
+// mirroring the Open MPI primitives the paper's implementation used:
+//
+//   MPI_Send / MPI_Recv   -> Comm::send / Comm::recv  (blocking, FIFO
+//                            per (source, tag, communicator))
+//   MPI_Bcast             -> Comm::bcast (application-layer multicast:
+//                            the root transmits once, accounting-wise,
+//                            and every other member receives a copy)
+//   MPI_Barrier           -> Comm::barrier
+//   MPI_Comm_split        -> Comm::split (collective; color < 0 is
+//                            MPI_UNDEFINED)
+//   MPI_Gather             -> Comm::gather (control-plane, unaccounted)
+//
+// Traffic accounting: send() records a unicast and bcast() records a
+// multicast with its fan-out into World::stats() under the current
+// stage label. Control-plane traffic (barrier tokens, gather of
+// results/timings) is deliberately NOT accounted — the paper's tables
+// measure shuffle payloads, not MPI control overhead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/buffer.h"
+#include "common/types.h"
+#include "simmpi/world.h"
+
+namespace cts::simmpi {
+
+class Comm {
+ public:
+  // The world communicator for node `self` (rank == node id).
+  static Comm World(class World& world, NodeId self);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(members_->size()); }
+  CommId id() const { return id_; }
+
+  // The world this communicator lives in (for stats and harness use).
+  class World& world() const { return *world_; }
+
+  // Global node id of a rank in this communicator.
+  NodeId global(int rank) const {
+    CTS_CHECK_GE(rank, 0);
+    CTS_CHECK_LT(rank, size());
+    return (*members_)[static_cast<std::size_t>(rank)];
+  }
+  NodeId my_global() const { return global(rank_); }
+  const std::vector<NodeId>& members() const { return *members_; }
+
+  // Rank of a global node id in this communicator, or -1.
+  int rank_of_global(NodeId node) const;
+
+  // ---- Point-to-point (accounted as unicast) ----
+  void send(int dst_rank, Tag tag, std::span<const std::uint8_t> payload);
+  void send(int dst_rank, Tag tag, const Buffer& payload) {
+    send(dst_rank, tag, payload.span());
+  }
+  Buffer recv(int src_rank, Tag tag);
+
+  // ---- Collectives ----
+
+  // Application-layer multicast (accounted as one multicast with
+  // fan-out size()-1). At the root, `payload` is the data to send; at
+  // other ranks it is overwritten with the received copy.
+  void bcast(int root_rank, Buffer& payload);
+
+  // Synchronizes all members (token to rank 0, token back).
+  void barrier();
+
+  // Collects every member's payload at `root_rank`, in rank order.
+  // Returns the full vector at the root, an empty vector elsewhere.
+  // Control-plane: not accounted.
+  std::vector<Buffer> gather(int root_rank, const Buffer& payload);
+
+  // Simultaneous exchange with `peer_rank` (both sides call with the
+  // same tag). Safe against head-of-line deadlock because sends are
+  // eager-buffered, like MPI_Sendrecv. Accounted as unicast.
+  Buffer sendrecv(int peer_rank, Tag tag, const Buffer& payload);
+
+  // Every member ends with every member's payload, in rank order
+  // (MPI_Allgather). Data-plane: accounted as unicasts.
+  std::vector<Buffer> allgather(const Buffer& payload);
+
+  // Root distributes parts[i] to rank i and returns its own part;
+  // non-roots pass an empty vector and receive theirs (MPI_Scatter).
+  // Data-plane: accounted as unicasts.
+  Buffer scatter(int root_rank, std::vector<Buffer> parts);
+
+  // Global sum of one u64 per member, known to all (MPI_Allreduce with
+  // MPI_SUM). Accounted as unicasts of 8-byte payloads.
+  std::uint64_t allreduce_sum(std::uint64_t value);
+
+  // Collective split. Members calling with the same color >= 0 form a
+  // new communicator ordered by (key, node id); color < 0 opts out and
+  // yields nullopt. Every member of this communicator must call.
+  std::optional<Comm> split(int color, int key);
+
+  // Batched group creation (the "Scalable Coding" extension, paper
+  // Section VI): creates one communicator per node-mask in `groups`
+  // using a single collective round instead of one split per group.
+  // Every member of this communicator must call with the SAME list;
+  // masks are over global node ids and must be members of this comm.
+  // Returns the communicators for the groups containing the caller,
+  // keyed by mask; ranks are in ascending node order. Accounting: one
+  // comm creation per group, under the current stage label.
+  std::map<NodeMask, Comm> create_groups(const std::vector<NodeMask>& groups);
+
+ private:
+  Comm(class World* world, CommId id,
+       std::shared_ptr<const std::vector<NodeId>> members, int rank)
+      : world_(world), id_(id), members_(std::move(members)), rank_(rank) {}
+
+  void deliver(int dst_rank, Tag tag, std::span<const std::uint8_t> payload);
+
+  static constexpr Tag kTagBcast = -1;
+  static constexpr Tag kTagBarrier = -2;
+  static constexpr Tag kTagGather = -3;
+  // Accounted collectives use high user-space tags so they never
+  // collide with algorithm point-to-point tags (small non-negative).
+  static constexpr Tag kTagAllgatherUser = 0x7fff0001;
+  static constexpr Tag kTagScatterUser = 0x7fff0002;
+
+  class World* world_;
+  CommId id_;
+  std::shared_ptr<const std::vector<NodeId>> members_;
+  int rank_;
+  std::uint64_t split_epoch_ = 0;
+};
+
+}  // namespace cts::simmpi

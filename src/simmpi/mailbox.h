@@ -1,0 +1,69 @@
+// Blocking point-to-point message transport.
+//
+// One Mailbox per destination node. Messages are keyed by
+// (communicator id, source node, tag) and delivered FIFO per key —
+// exactly MPI's non-overtaking guarantee for matching (source, tag,
+// comm) triples. send() is eager-buffered (copies the payload into the
+// destination mailbox and returns), which matches MPI_Send semantics
+// for the message sizes the simulator moves.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "common/buffer.h"
+#include "common/types.h"
+
+namespace cts::simmpi {
+
+using CommId = std::uint32_t;
+using Tag = std::int32_t;
+
+class Mailbox {
+ public:
+  // Enqueues a message for this mailbox's owner.
+  void deliver(CommId comm, NodeId src, Tag tag, Buffer payload) {
+    {
+      std::lock_guard lock(mu_);
+      queues_[Key{comm, src, tag}].push_back(std::move(payload));
+    }
+    cv_.notify_all();
+  }
+
+  // Blocks until a message with the exact (comm, src, tag) key arrives,
+  // then removes and returns it.
+  Buffer receive(CommId comm, NodeId src, Tag tag) {
+    std::unique_lock lock(mu_);
+    const Key key{comm, src, tag};
+    cv_.wait(lock, [&] {
+      const auto it = queues_.find(key);
+      return it != queues_.end() && !it->second.empty();
+    });
+    auto it = queues_.find(key);
+    Buffer payload = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    return payload;
+  }
+
+  // Number of queued messages (for tests and leak checks).
+  std::size_t pending() const {
+    std::lock_guard lock(mu_);
+    std::size_t n = 0;
+    for (const auto& [key, q] : queues_) n += q.size();
+    return n;
+  }
+
+ private:
+  using Key = std::tuple<CommId, NodeId, Tag>;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Buffer>> queues_;
+};
+
+}  // namespace cts::simmpi

@@ -1,0 +1,178 @@
+// Per-stage traffic accounting.
+//
+// The EC2 network of the paper is replaced by an in-memory transport;
+// what the cost model needs from it is exact per-stage counts of what
+// *would* have crossed the 100 Mbps links: unicast payload bytes and
+// message counts (TeraSort shuffle), multicast payload bytes, message
+// counts and fan-out (CodedTeraSort shuffle), and communicator
+// creations (CodeGen). Stages are barrier-synchronized in both
+// algorithms (the paper executes stages "one after another in a
+// synchronous manner"), so a single global current-stage label is
+// sufficient and race-free between barriers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "simnet/transmission_log.h"
+
+namespace cts::simmpi {
+
+// Per-node transmit/receive byte totals within one stage. The serial
+// shuffles of the paper only need the global totals, but the
+// asynchronous-execution extension (paper Section VI, third future
+// direction) prices a parallel shuffle as max over nodes of per-node
+// link occupancy, which needs this split.
+struct NodeTraffic {
+  std::uint64_t tx_bytes = 0;  // bytes this node put on its uplink
+  std::uint64_t rx_bytes = 0;  // bytes delivered to this node
+};
+
+// Counters for one named stage.
+struct ChannelCounters {
+  std::uint64_t unicast_msgs = 0;
+  std::uint64_t unicast_bytes = 0;       // payload bytes sent point-to-point
+  std::uint64_t mcast_msgs = 0;          // one per MPI_Bcast-style send
+  std::uint64_t mcast_bytes = 0;         // payload bytes transmitted once
+  std::uint64_t mcast_recipient_bytes = 0;  // payload * number of receivers
+  std::uint64_t comm_creations = 0;      // communicator-split results
+
+  ChannelCounters& operator+=(const ChannelCounters& o) {
+    unicast_msgs += o.unicast_msgs;
+    unicast_bytes += o.unicast_bytes;
+    mcast_msgs += o.mcast_msgs;
+    mcast_bytes += o.mcast_bytes;
+    mcast_recipient_bytes += o.mcast_recipient_bytes;
+    comm_creations += o.comm_creations;
+    return *this;
+  }
+
+  // Total bytes a serial shared channel must carry: each unicast and
+  // each multicast transmission occupies the channel once.
+  std::uint64_t transmitted_bytes() const {
+    return unicast_bytes + mcast_bytes;
+  }
+};
+
+// Thread-safe per-stage counter registry.
+class TrafficStats {
+ public:
+  explicit TrafficStats(int num_nodes = 0) : num_nodes_(num_nodes) {}
+
+  // Sets the label under which subsequent traffic is recorded.
+  // Call only between stage barriers (all nodes quiescent).
+  void set_stage(const std::string& stage) {
+    std::lock_guard lock(mu_);
+    current_ = stage;
+    (void)stages_[current_];  // materialize so empty stages still report
+  }
+
+  std::string current_stage() const {
+    std::lock_guard lock(mu_);
+    return current_;
+  }
+
+  void record_unicast(std::uint64_t bytes, NodeId src = -1,
+                      NodeId dst = -1) {
+    std::lock_guard lock(mu_);
+    auto& c = stages_[current_];
+    ++c.unicast_msgs;
+    c.unicast_bytes += bytes;
+    if (src >= 0) node_traffic(src).tx_bytes += bytes;
+    if (dst >= 0) node_traffic(dst).rx_bytes += bytes;
+    if (src >= 0 && dst >= 0) {
+      logs_[current_].push_back({src, {dst}, bytes});
+    }
+  }
+
+  void record_multicast(std::uint64_t bytes, int receivers,
+                        NodeId src = -1,
+                        const std::vector<NodeId>& recipients = {}) {
+    std::lock_guard lock(mu_);
+    auto& c = stages_[current_];
+    ++c.mcast_msgs;
+    c.mcast_bytes += bytes;
+    c.mcast_recipient_bytes += bytes * static_cast<std::uint64_t>(receivers);
+    // One transmission occupies the sender's uplink once; each
+    // recipient's downlink carries a full copy.
+    if (src >= 0) node_traffic(src).tx_bytes += bytes;
+    for (const NodeId d : recipients) node_traffic(d).rx_bytes += bytes;
+    if (src >= 0 && !recipients.empty()) {
+      logs_[current_].push_back({src, recipients, bytes});
+    }
+  }
+
+  void record_comm_creation(std::uint64_t count = 1) {
+    std::lock_guard lock(mu_);
+    stages_[current_].comm_creations += count;
+  }
+
+  ChannelCounters stage(const std::string& name) const {
+    std::lock_guard lock(mu_);
+    const auto it = stages_.find(name);
+    return it == stages_.end() ? ChannelCounters{} : it->second;
+  }
+
+  ChannelCounters total() const {
+    std::lock_guard lock(mu_);
+    ChannelCounters t;
+    for (const auto& [name, c] : stages_) t += c;
+    return t;
+  }
+
+  std::vector<std::string> stage_names() const {
+    std::lock_guard lock(mu_);
+    std::vector<std::string> names;
+    names.reserve(stages_.size());
+    for (const auto& [name, c] : stages_) names.push_back(name);
+    return names;
+  }
+
+  // Per-node tx/rx for one stage (empty vector if none recorded or
+  // the stats were constructed without a node count).
+  std::vector<NodeTraffic> per_node(const std::string& stage) const {
+    std::lock_guard lock(mu_);
+    const auto it = per_node_.find(stage);
+    return it == per_node_.end() ? std::vector<NodeTraffic>{} : it->second;
+  }
+
+  // Ordered transmissions of one stage (initiation order), for
+  // discrete-event replay by simnet::ParallelMakespan et al.
+  simnet::TransmissionLog transmission_log(const std::string& stage) const {
+    std::lock_guard lock(mu_);
+    const auto it = logs_.find(stage);
+    return it == logs_.end() ? simnet::TransmissionLog{} : it->second;
+  }
+
+  void reset() {
+    std::lock_guard lock(mu_);
+    stages_.clear();
+    per_node_.clear();
+    logs_.clear();
+    current_.clear();
+  }
+
+ private:
+  // Requires mu_ held.
+  NodeTraffic& node_traffic(NodeId node) {
+    auto& v = per_node_[current_];
+    if (v.size() <= static_cast<std::size_t>(node)) {
+      v.resize(std::max<std::size_t>(static_cast<std::size_t>(num_nodes_),
+                                     static_cast<std::size_t>(node) + 1));
+    }
+    return v[static_cast<std::size_t>(node)];
+  }
+
+  int num_nodes_;
+  mutable std::mutex mu_;
+  std::string current_ = "";
+  std::map<std::string, ChannelCounters> stages_;
+  std::map<std::string, std::vector<NodeTraffic>> per_node_;
+  std::map<std::string, simnet::TransmissionLog> logs_;
+};
+
+}  // namespace cts::simmpi

@@ -1,0 +1,84 @@
+#include "simnet/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cts::simnet {
+
+double LinkModel::tx_seconds(const Transmission& t) const {
+  CTS_CHECK_GT(bytes_per_sec, 0.0);
+  const double fanout = static_cast<double>(t.dsts.size());
+  const double penalty =
+      fanout > 1.0 ? 1.0 + multicast_log_coeff * std::log2(fanout) : 1.0;
+  return static_cast<double>(t.bytes) * penalty / bytes_per_sec;
+}
+
+double LinkModel::rx_seconds(const Transmission& t) const {
+  return static_cast<double>(t.bytes) / bytes_per_sec;
+}
+
+double SerialMakespan(const TransmissionLog& log, const LinkModel& link) {
+  double total = 0;
+  for (const Transmission& t : log) total += link.tx_seconds(t);
+  return total;
+}
+
+double ParallelMakespan(const TransmissionLog& log, const LinkModel& link,
+                        int num_nodes, bool full_duplex) {
+  CTS_CHECK_GE(num_nodes, 1);
+  // free_up[n] / free_down[n]: earliest time node n's uplink /
+  // downlink is available. Half duplex aliases them.
+  std::vector<double> free_up(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<double> free_down(static_cast<std::size_t>(num_nodes), 0.0);
+
+  auto up = [&](NodeId n) -> double& {
+    CTS_CHECK_LT(n, num_nodes);
+    return free_up[static_cast<std::size_t>(n)];
+  };
+  auto down = [&](NodeId n) -> double& {
+    CTS_CHECK_LT(n, num_nodes);
+    return full_duplex ? free_down[static_cast<std::size_t>(n)]
+                       : free_up[static_cast<std::size_t>(n)];
+  };
+
+  double makespan = 0;
+  for (const Transmission& t : log) {
+    // List scheduling in log order: start when the sender's uplink and
+    // every receiver's downlink are simultaneously free.
+    double start = up(t.src);
+    for (const NodeId d : t.dsts) start = std::max(start, down(d));
+    const double tx_end = start + link.tx_seconds(t);
+    const double rx_end = start + link.rx_seconds(t);
+    up(t.src) = tx_end;
+    for (const NodeId d : t.dsts) down(d) = std::max(down(d), rx_end);
+    makespan = std::max(makespan, std::max(tx_end, rx_end));
+  }
+  return makespan;
+}
+
+double ParallelLinkBound(const TransmissionLog& log, const LinkModel& link,
+                         int num_nodes, bool full_duplex) {
+  CTS_CHECK_GE(num_nodes, 1);
+  std::vector<double> tx(static_cast<std::size_t>(num_nodes), 0.0);
+  std::vector<double> rx(static_cast<std::size_t>(num_nodes), 0.0);
+  for (const Transmission& t : log) {
+    CTS_CHECK_LT(t.src, num_nodes);
+    tx[static_cast<std::size_t>(t.src)] += link.tx_seconds(t);
+    for (const NodeId d : t.dsts) {
+      CTS_CHECK_LT(d, num_nodes);
+      rx[static_cast<std::size_t>(d)] += link.rx_seconds(t);
+    }
+  }
+  double bound = 0;
+  for (int n = 0; n < num_nodes; ++n) {
+    const double t = tx[static_cast<std::size_t>(n)];
+    const double r = rx[static_cast<std::size_t>(n)];
+    bound = std::max(bound, full_duplex ? std::max(t, r) : t + r);
+  }
+  return bound;
+}
+
+}  // namespace cts::simnet

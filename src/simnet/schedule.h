@@ -1,0 +1,48 @@
+// Discrete-event replay of a transmission log under a network
+// discipline.
+//
+// Disciplines:
+//  * Serial — the paper's setup: one transmission at a time on a
+//    shared medium, in log order. Makespan = sum of durations (the
+//    closed form; provided for cross-validation).
+//  * Parallel — every node has its own link(s); transmissions are
+//    list-scheduled in log order: a transfer starts as soon as the
+//    sender's uplink and every receiver's downlink are free, and
+//    occupies them for its duration. Full duplex gives tx and rx
+//    independent links; half duplex shares one link per node.
+//
+// A multicast occupies the sender's uplink once for
+// bytes * (1 + coeff*log2(fanout)) / rate (the application-layer
+// multicast penalty) and each receiver's downlink for bytes / rate.
+#pragma once
+
+#include <cstdint>
+
+#include "simnet/transmission_log.h"
+
+namespace cts::simnet {
+
+struct LinkModel {
+  double bytes_per_sec = 12.5e6 * 0.95;  // 100 Mbps at TCP efficiency
+  // Sender-side penalty factor for multicasting to `fanout` receivers.
+  double multicast_log_coeff = 0.32;
+
+  double tx_seconds(const Transmission& t) const;
+  double rx_seconds(const Transmission& t) const;
+};
+
+// Makespan of the log executed one transmission at a time (shared
+// medium), i.e. the sum of sender-side durations.
+double SerialMakespan(const TransmissionLog& log, const LinkModel& link);
+
+// Makespan of the log executed with per-node links, list-scheduled in
+// log order. `num_nodes` bounds the node ids appearing in the log.
+double ParallelMakespan(const TransmissionLog& log, const LinkModel& link,
+                        int num_nodes, bool full_duplex);
+
+// Lower bound for any parallel schedule: the busiest single link's
+// total occupancy (matches analytics' parallel closed form).
+double ParallelLinkBound(const TransmissionLog& log, const LinkModel& link,
+                         int num_nodes, bool full_duplex);
+
+}  // namespace cts::simnet

@@ -1,0 +1,33 @@
+// Ordered log of every shuffle transmission.
+//
+// The analytics cost model prices shuffles with closed forms (serial:
+// sum of transmissions; parallel: per-node link occupancy). The simnet
+// module provides an independent check: the transport logs each
+// transmission in initiation order, and a discrete-event simulator
+// (schedule.h) replays the log under a network discipline to produce a
+// makespan. Tests assert the closed forms and the event simulation
+// agree where they must, and the bench harness uses the simulator for
+// schedules where closed forms are only bounds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace cts::simnet {
+
+// One transmission: a unicast has a single destination; an
+// application-layer multicast lists all receivers of the single
+// logical transmission.
+struct Transmission {
+  NodeId src = 0;
+  std::vector<NodeId> dsts;
+  std::uint64_t bytes = 0;
+
+  bool is_multicast() const { return dsts.size() > 1; }
+};
+
+using TransmissionLog = std::vector<Transmission>;
+
+}  // namespace cts::simnet

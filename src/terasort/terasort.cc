@@ -1,0 +1,148 @@
+#include "terasort/terasort.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "coding/placement.h"
+#include "common/check.h"
+#include "driver/partition_util.h"
+#include "keyvalue/recordio.h"
+#include "keyvalue/teragen.h"
+
+namespace cts {
+
+namespace {
+
+constexpr simmpi::Tag kTagShuffle = 0;
+
+}  // namespace
+
+void TeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
+                  const SortConfig& config) {
+  const int K = config.num_nodes;
+  CTS_CHECK_EQ(comm.size(), K);
+  const NodeId self = comm.my_global();
+
+  // File placement: the r = 1 degenerate placement puts file k on node
+  // k (FileId == NodeId for singleton subsets in colex order).
+  const Placement placement = Placement::Create(K, /*r=*/1);
+  const auto ranges = placement.SplitRecords(config.num_records);
+  const TeraGen gen(config.seed, config.distribution);
+
+  // kDistributedSampled replaces the coordinator's partition file with
+  // Hadoop-style collective sampling (collective on the world comm).
+  std::unique_ptr<Partitioner> partitioner;
+  if (config.partitioner == PartitionerKind::kDistributedSampled) {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> local;
+    for (const FileId f : placement.files_on_node(self)) {
+      const auto fi = static_cast<std::size_t>(f);
+      local.emplace_back(ranges.offset[fi], ranges.count[fi]);
+    }
+    partitioner = std::make_unique<SampledPartitioner>(
+        BuildDistributedSampledPartitioner(comm, gen, local,
+                                           config.sample_size));
+  } else {
+    partitioner = MakePartitioner(config);
+  }
+
+  StageRunner stages(comm.world(), comm, recorder);
+  NodeWork work;
+
+  // Hash outputs: intermediate value I^j_{self} per partition j.
+  std::vector<std::vector<Record>> hashed(static_cast<std::size_t>(K));
+  // Serialized outgoing values, one per other node.
+  std::vector<Buffer> packed(static_cast<std::size_t>(K));
+  // Raw shuffle payloads received from other nodes.
+  std::vector<Buffer> received(static_cast<std::size_t>(K));
+
+  // ---- Map ----
+  stages.run(stage::kMap, [&] {
+    const std::size_t f = static_cast<std::size_t>(self);
+    const auto records = gen.generate(ranges.offset[f], ranges.count[f]);
+    for (const Record& rec : records) {
+      const PartitionId p = partitioner->partition(rec.key);
+      hashed[static_cast<std::size_t>(p)].push_back(rec);
+    }
+    work.map_bytes += records.size() * kRecordBytes;
+    work.map_files += 1;
+  });
+
+  // ---- Pack ----
+  stages.run(stage::kPack, [&] {
+    for (int j = 0; j < K; ++j) {
+      if (j == self) continue;
+      work.pack_bytes += PackRecords(hashed[static_cast<std::size_t>(j)],
+                                     packed[static_cast<std::size_t>(j)]);
+    }
+  });
+
+  // ---- Shuffle: serial unicast, sender 0 first (paper Fig. 9(a)) ----
+  stages.run(stage::kShuffle, [&] {
+    for (int sender = 0; sender < K; ++sender) {
+      if (sender == self) {
+        for (int j = 0; j < K; ++j) {
+          if (j == self) continue;
+          comm.send(j, kTagShuffle, packed[static_cast<std::size_t>(j)]);
+        }
+      } else {
+        received[static_cast<std::size_t>(sender)] =
+            comm.recv(sender, kTagShuffle);
+      }
+    }
+  });
+
+  // ---- Unpack ----
+  std::vector<Record> pool;
+  stages.run(stage::kUnpack, [&] {
+    for (int sender = 0; sender < K; ++sender) {
+      if (sender == self) continue;
+      auto& buf = received[static_cast<std::size_t>(sender)];
+      work.unpack_bytes += buf.size();
+      UnpackRecordsInto(buf, pool);
+    }
+  });
+
+  // ---- Reduce ----
+  stages.run(stage::kReduce, [&] {
+    auto& own = hashed[static_cast<std::size_t>(self)];
+    pool.insert(pool.end(), own.begin(), own.end());
+    std::sort(pool.begin(), pool.end(), RecordLess);
+    work.reduce_bytes += pool.size() * kRecordBytes;
+    // Partition-ownership invariant: everything this node reduced must
+    // belong to its key range.
+    for (const Record& rec : pool) {
+      CTS_CHECK_MSG(partitioner->partition(rec.key) == self,
+                    "record outside partition " << self);
+    }
+  });
+
+  recorder.set_partition(self, std::move(pool));
+  recorder.set_work(self, work);
+}
+
+AlgorithmResult RunTeraSort(const SortConfig& config) {
+  simmpi::World world(config.num_nodes);
+  RunRecorder recorder(config.num_nodes);
+  RunOnCluster(world, recorder, [&](simmpi::Comm& comm, RunRecorder& rec) {
+    TeraSortNode(comm, rec, config);
+  });
+
+  AlgorithmResult result;
+  result.config = config;
+  result.config.redundancy = 1;
+  result.algorithm = "TeraSort";
+  result.partitions = recorder.take_partitions();
+  result.work = recorder.work();
+  result.wall_seconds = recorder.wall_max();
+  for (const auto& name : world.stats().stage_names()) {
+    result.traffic[name] = world.stats().stage(name);
+  }
+  result.shuffle_node_traffic = world.stats().per_node(stage::kShuffle);
+  result.shuffle_log = world.stats().transmission_log(stage::kShuffle);
+  CTS_CHECK_EQ(result.total_output_records(), config.num_records);
+  CTS_CHECK_EQ(world.pending_messages(), std::size_t{0});
+  return result;
+}
+
+}  // namespace cts

@@ -1,0 +1,34 @@
+// Baseline TeraSort (paper Section III).
+//
+// Five stages, exactly as the paper's C++/Open MPI implementation:
+//
+//   Map     — node k hashes every KV pair of its single input file
+//             F_{k} into the K key-domain partitions.
+//   Pack    — each intermediate value I^j_{k} (j != k) is serialized
+//             into one contiguous array so a single flow carries it.
+//   Shuffle — serial unicast: node 0 sends its K-1 intermediate values
+//             back-to-back, then node 1, ... (paper Fig. 9(a)).
+//   Unpack  — received arrays are deserialized into KV lists.
+//   Reduce  — node k sorts partition P_k locally (std::sort).
+//
+// The input file of node k is generated in place from the deterministic
+// TeraGen stream (the paper's coordinator pre-places files on workers'
+// local disks; generation stands in for local-disk load).
+#pragma once
+
+#include "driver/cluster.h"
+#include "driver/run_result.h"
+#include "simmpi/comm.h"
+
+namespace cts {
+
+// The TeraSort node program. Runs inside a cluster node thread; fills
+// `recorder` with this node's partition, work counters and stage walls.
+void TeraSortNode(simmpi::Comm& world_comm, RunRecorder& recorder,
+                  const SortConfig& config);
+
+// Convenience driver: executes TeraSort on a fresh simulated cluster
+// and returns the assembled result (validated for record conservation).
+AlgorithmResult RunTeraSort(const SortConfig& config);
+
+}  // namespace cts

@@ -1,0 +1,165 @@
+// Unit + property tests for src/combinatorics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "combinatorics/subsets.h"
+#include "common/check.h"
+
+namespace cts {
+namespace {
+
+TEST(Binomial, SmallValues) {
+  EXPECT_EQ(Binomial(0, 0), 1u);
+  EXPECT_EQ(Binomial(4, 2), 6u);
+  EXPECT_EQ(Binomial(5, 0), 1u);
+  EXPECT_EQ(Binomial(5, 5), 1u);
+  EXPECT_EQ(Binomial(5, 6), 0u);
+  EXPECT_EQ(Binomial(5, -1), 0u);
+}
+
+TEST(Binomial, PaperValues) {
+  // Values the paper quotes or implies in Section V.
+  EXPECT_EQ(Binomial(16, 3), 560u);   // N files at K=16, r=3
+  EXPECT_EQ(Binomial(16, 4), 1820u);  // multicast groups at K=16, r=3
+  EXPECT_EQ(Binomial(16, 6), 8008u);  // multicast groups at K=16, r=5
+  EXPECT_EQ(Binomial(20, 4), 4845u);  // K=20, r=3
+  EXPECT_EQ(Binomial(20, 6), 38760u); // K=20, r=5
+  EXPECT_EQ(Binomial(15, 2), 105u);   // files per node at K=16, r=3
+}
+
+TEST(Binomial, PascalIdentity) {
+  for (int n = 1; n <= 30; ++n) {
+    for (int k = 1; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(Subsets, FirstSubsetHasLowBits) {
+  EXPECT_EQ(FirstSubset(0), 0u);
+  EXPECT_EQ(FirstSubset(1), 0b1u);
+  EXPECT_EQ(FirstSubset(3), 0b111u);
+}
+
+TEST(Subsets, MaskHelpers) {
+  NodeMask m = NodesToMask({0, 2, 5});
+  EXPECT_TRUE(Contains(m, 0));
+  EXPECT_FALSE(Contains(m, 1));
+  EXPECT_TRUE(Contains(m, 5));
+  EXPECT_EQ(Popcount(m), 3);
+  EXPECT_EQ(WithoutNode(m, 2), NodesToMask({0, 5}));
+  EXPECT_EQ(WithNode(m, 1), NodesToMask({0, 1, 2, 5}));
+  EXPECT_EQ(MaskToNodes(m), (std::vector<NodeId>{0, 2, 5}));
+}
+
+TEST(Subsets, NodesToMaskRejectsDuplicates) {
+  EXPECT_THROW(NodesToMask({1, 1}), CheckError);
+}
+
+TEST(Subsets, AllSubsetsCountsAndOrder) {
+  const auto subsets = AllSubsets(5, 2);
+  EXPECT_EQ(subsets.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(subsets.begin(), subsets.end()));
+  for (NodeMask m : subsets) EXPECT_EQ(Popcount(m), 2);
+  // Distinctness.
+  std::set<NodeMask> unique(subsets.begin(), subsets.end());
+  EXPECT_EQ(unique.size(), subsets.size());
+}
+
+TEST(Subsets, AllSubsetsEdgeCases) {
+  EXPECT_EQ(AllSubsets(4, 0), (std::vector<NodeMask>{0u}));
+  EXPECT_EQ(AllSubsets(4, 4), (std::vector<NodeMask>{0b1111u}));
+  EXPECT_EQ(AllSubsets(1, 1), (std::vector<NodeMask>{0b1u}));
+}
+
+TEST(Subsets, Paper4Choose2Example) {
+  // Paper Section IV-A: K=4, r=2 yields files F{1,2}, F{1,3}, F{2,3},
+  // F{1,4}, F{2,4}, F{3,4} (0-based here), 6 files total.
+  const auto subsets = AllSubsets(4, 2);
+  ASSERT_EQ(subsets.size(), 6u);
+  EXPECT_EQ(subsets[0], NodesToMask({0, 1}));
+  EXPECT_EQ(subsets[1], NodesToMask({0, 2}));
+  EXPECT_EQ(subsets[2], NodesToMask({1, 2}));
+  EXPECT_EQ(subsets[3], NodesToMask({0, 3}));
+  EXPECT_EQ(subsets[4], NodesToMask({1, 3}));
+  EXPECT_EQ(subsets[5], NodesToMask({2, 3}));
+}
+
+TEST(Subsets, SubsetsContainingNode) {
+  const auto with2 = SubsetsContaining(5, 3, 2);
+  EXPECT_EQ(with2.size(), Binomial(4, 2));
+  for (NodeMask m : with2) {
+    EXPECT_TRUE(Contains(m, 2));
+    EXPECT_EQ(Popcount(m), 3);
+  }
+}
+
+// Property: ColexRank and ColexUnrank are inverse bijections over all
+// (K, r) pairs in a sweep.
+class ColexBijection : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(ColexBijection, RankUnrankRoundTrip) {
+  const auto [K, r] = GetParam();
+  const auto subsets = AllSubsets(K, r);
+  for (std::uint64_t rank = 0; rank < subsets.size(); ++rank) {
+    EXPECT_EQ(ColexRank(subsets[rank]), rank);
+    EXPECT_EQ(ColexUnrank(K, r, rank), subsets[rank]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ColexBijection,
+    ::testing::Values(std::pair{4, 2}, std::pair{5, 1}, std::pair{5, 5},
+                      std::pair{8, 3}, std::pair{10, 4}, std::pair{12, 2},
+                      std::pair{16, 3}, std::pair{16, 5}, std::pair{20, 3},
+                      std::pair{13, 6}),
+    [](const auto& info) {
+      return "K" + std::to_string(info.param.first) + "r" +
+             std::to_string(info.param.second);
+    });
+
+TEST(Colex, UnrankRejectsOutOfRange) {
+  EXPECT_THROW(ColexUnrank(4, 2, 6), CheckError);
+}
+
+// Structured-redundancy invariant the placement relies on: every
+// r-subset of nodes shares exactly one file, i.e. the subsets are
+// distinct and cover all C(K, r) possibilities.
+TEST(Subsets, EveryRSubsetAppearsExactlyOnce) {
+  const int K = 7, r = 3;
+  const auto subsets = AllSubsets(K, r);
+  std::set<NodeMask> seen(subsets.begin(), subsets.end());
+  EXPECT_EQ(seen.size(), Binomial(K, r));
+  // Each node appears in exactly C(K-1, r-1) subsets.
+  for (NodeId n = 0; n < K; ++n) {
+    std::size_t count = 0;
+    for (NodeMask m : subsets) {
+      if (Contains(m, n)) ++count;
+    }
+    EXPECT_EQ(count, Binomial(K - 1, r - 1));
+  }
+}
+
+TEST(Subsets, GospersHackMatchesNaiveEnumeration) {
+  const int K = 10, r = 4;
+  std::vector<NodeMask> naive;
+  for (NodeMask m = 0; m < (1u << K); ++m) {
+    if (Popcount(m) == r) naive.push_back(m);
+  }
+  EXPECT_EQ(AllSubsets(K, r), naive);
+}
+
+TEST(Subsets, FullWidthUniverse) {
+  // K = 32 exercises the shift-overflow guard paths.
+  const auto subsets = AllSubsets(32, 31);
+  EXPECT_EQ(subsets.size(), 32u);
+  const auto all = AllSubsets(32, 32);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], ~NodeMask{0});
+}
+
+}  // namespace
+}  // namespace cts

@@ -1,0 +1,153 @@
+// Tests for the TeraValidate module: checksums and partitioned-output
+// validation, including on real sort outputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "codedterasort/coded_terasort.h"
+#include "keyvalue/teravalidate.h"
+#include "terasort/terasort.h"
+
+namespace cts {
+namespace {
+
+TEST(Checksum, OrderInsensitive) {
+  const TeraGen gen(1);
+  auto recs = gen.generate(0, 500);
+  const RecordChecksum forward = ChecksumOfRecords(recs);
+  std::reverse(recs.begin(), recs.end());
+  EXPECT_EQ(ChecksumOfRecords(recs), forward);
+}
+
+TEST(Checksum, SplitInsensitiveViaMerge) {
+  const TeraGen gen(2);
+  const auto recs = gen.generate(0, 100);
+  RecordChecksum split = ChecksumOfRecords({recs.data(), 40});
+  split.merge(ChecksumOfRecords({recs.data() + 40, 60}));
+  EXPECT_EQ(split, ChecksumOfRecords(recs));
+}
+
+TEST(Checksum, DetectsContentChange) {
+  const TeraGen gen(3);
+  auto recs = gen.generate(0, 100);
+  const RecordChecksum original = ChecksumOfRecords(recs);
+  recs[50].value[10] ^= 1;
+  EXPECT_FALSE(ChecksumOfRecords(recs) == original);
+}
+
+TEST(Checksum, DetectsDuplicationEvenWhenXorCancels) {
+  // Replacing a record with a duplicate of another changes the XOR
+  // accumulator; duplicating a PAIR cancels in XOR but not in SUM.
+  const TeraGen gen(4);
+  auto recs = gen.generate(0, 100);
+  const RecordChecksum original = ChecksumOfRecords(recs);
+  recs[1] = recs[0];
+  recs[3] = recs[2];
+  auto doubled = recs;
+  EXPECT_FALSE(ChecksumOfRecords(doubled) == original);
+}
+
+TEST(Checksum, MatchesInputStreamHelper) {
+  const TeraGen gen(5);
+  EXPECT_EQ(ChecksumOfInput(gen, 256),
+            ChecksumOfRecords(gen.generate(0, 256)));
+}
+
+TEST(Validate, AcceptsCorrectPartitionedOutput) {
+  const TeraGen gen(6);
+  auto recs = gen.generate(0, 300);
+  const RecordChecksum expected = ChecksumOfRecords(recs);
+  std::sort(recs.begin(), recs.end(), RecordLess);
+  const std::vector<std::vector<Record>> partitions = {
+      {recs.begin(), recs.begin() + 100},
+      {recs.begin() + 100, recs.begin() + 250},
+      {recs.begin() + 250, recs.end()},
+  };
+  const ValidationReport report = ValidatePartitions(partitions, expected);
+  EXPECT_TRUE(report.valid) << report.error;
+}
+
+TEST(Validate, AcceptsEmptyPartitions) {
+  const TeraGen gen(6);
+  auto recs = gen.generate(0, 10);
+  const RecordChecksum expected = ChecksumOfRecords(recs);
+  std::sort(recs.begin(), recs.end(), RecordLess);
+  const std::vector<std::vector<Record>> partitions = {{}, recs, {}};
+  EXPECT_TRUE(ValidatePartitions(partitions, expected).valid);
+}
+
+TEST(Validate, RejectsIntraPartitionDisorder) {
+  const TeraGen gen(7);
+  auto recs = gen.generate(0, 100);
+  const RecordChecksum expected = ChecksumOfRecords(recs);
+  // Unsorted partition.
+  const std::vector<std::vector<Record>> partitions = {recs};
+  const ValidationReport report = ValidatePartitions(partitions, expected);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.error.find("order violation"), std::string::npos);
+}
+
+TEST(Validate, RejectsCrossPartitionDisorder) {
+  const TeraGen gen(8);
+  auto recs = gen.generate(0, 100);
+  const RecordChecksum expected = ChecksumOfRecords(recs);
+  std::sort(recs.begin(), recs.end(), RecordLess);
+  // Swap the halves: each is sorted, but the boundary is inverted.
+  const std::vector<std::vector<Record>> partitions = {
+      {recs.begin() + 50, recs.end()},
+      {recs.begin(), recs.begin() + 50},
+  };
+  EXPECT_FALSE(ValidatePartitions(partitions, expected).valid);
+}
+
+TEST(Validate, RejectsMissingRecords) {
+  const TeraGen gen(9);
+  auto recs = gen.generate(0, 100);
+  const RecordChecksum expected = ChecksumOfRecords(recs);
+  std::sort(recs.begin(), recs.end(), RecordLess);
+  recs.pop_back();
+  const std::vector<std::vector<Record>> partitions = {recs};
+  const ValidationReport report = ValidatePartitions(partitions, expected);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.error.find("count mismatch"), std::string::npos);
+}
+
+TEST(Validate, RejectsSubstitutedRecords) {
+  const TeraGen gen(10);
+  auto recs = gen.generate(0, 100);
+  const RecordChecksum expected = ChecksumOfRecords(recs);
+  std::sort(recs.begin(), recs.end(), RecordLess);
+  recs[30].value[0] ^= 0x55;  // same count, altered content
+  const std::vector<std::vector<Record>> partitions = {recs};
+  const ValidationReport report = ValidatePartitions(partitions, expected);
+  EXPECT_FALSE(report.valid);
+  EXPECT_NE(report.error.find("checksum"), std::string::npos);
+}
+
+TEST(Validate, RealTeraSortOutputValidates) {
+  SortConfig config;
+  config.num_nodes = 5;
+  config.num_records = 5000;
+  const AlgorithmResult result = RunTeraSort(config);
+  const RecordChecksum expected = ChecksumOfInput(
+      TeraGen(config.seed, config.distribution), config.num_records);
+  const ValidationReport report =
+      ValidatePartitions(result.partitions, expected);
+  EXPECT_TRUE(report.valid) << report.error;
+}
+
+TEST(Validate, RealCodedTeraSortOutputValidates) {
+  SortConfig config;
+  config.num_nodes = 5;
+  config.redundancy = 3;
+  config.num_records = 5000;
+  const AlgorithmResult result = RunCodedTeraSort(config);
+  const RecordChecksum expected = ChecksumOfInput(
+      TeraGen(config.seed, config.distribution), config.num_records);
+  const ValidationReport report =
+      ValidatePartitions(result.partitions, expected);
+  EXPECT_TRUE(report.valid) << report.error;
+}
+
+}  // namespace
+}  // namespace cts

@@ -1,0 +1,194 @@
+// ctsort — command-line driver for the coded-terasort library.
+//
+// Runs TeraSort and/or CodedTeraSort on a simulated cluster with any
+// configuration, verifies the output, and reports executed wall times,
+// transport traffic, and (optionally) the EC2-calibrated paper-scale
+// projection.
+//
+//   ctsort --algo=both --nodes=16 --redundancy=3 --records=1200000
+//   ctsort --algo=coded --nodes=20 --redundancy=5 --codegen=batched
+//   ctsort --algo=both --schedule=parallel-full --paper-records=120000000
+//
+// Flags (all optional):
+//   --algo=terasort|coded|both        what to run            [both]
+//   --nodes=K                         worker count           [8]
+//   --redundancy=r                    computation load       [3]
+//   --records=N                       records to sort        [200000]
+//   --seed=S                          workload seed          [2017]
+//   --dist=uniform|sorted|reverse|skewed|fewdistinct|balanced [uniform]
+//   --partitioner=range|sampled       key partitioner        [range]
+//   --codegen=split|batched           group creation mode    [split]
+//   --schedule=serial|parallel-full|parallel-half            [serial]
+//   --paper-records=N                 report at this scale   [=records]
+//   --no-verify                       skip output validation
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analytics/report.h"
+#include "codedterasort/coded_terasort.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "keyvalue/recordio.h"
+#include "keyvalue/teragen.h"
+#include "keyvalue/teravalidate.h"
+#include "terasort/terasort.h"
+
+namespace {
+
+using namespace cts;
+
+// Minimal --key=value parser; unknown flags are fatal (a typo should
+// not silently run the wrong experiment).
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        Fail("positional arguments are not supported: " + arg);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) {
+    const std::string v = Get(key, std::to_string(fallback));
+    return static_cast<std::uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+  }
+
+  bool GetBool(const std::string& key) { return Get(key, "") == "true"; }
+
+  void CheckAllConsumed() const {
+    for (const auto& [key, value] : values_) {
+      if (!consumed_.count(key)) Fail("unknown flag --" + key);
+    }
+  }
+
+  [[noreturn]] static void Fail(const std::string& msg) {
+    std::cerr << "ctsort: " << msg << " (see header comment for usage)\n";
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> consumed_;
+};
+
+KeyDistribution ParseDist(const std::string& name) {
+  if (name == "uniform") return KeyDistribution::kUniform;
+  if (name == "sorted") return KeyDistribution::kSorted;
+  if (name == "reverse") return KeyDistribution::kReverseSorted;
+  if (name == "skewed") return KeyDistribution::kSkewed;
+  if (name == "fewdistinct") return KeyDistribution::kFewDistinct;
+  if (name == "balanced") return KeyDistribution::kBalanced;
+  Flags::Fail("unknown --dist=" + name);
+}
+
+ShuffleSchedule ParseSchedule(const std::string& name) {
+  if (name == "serial") return ShuffleSchedule::kSerial;
+  if (name == "parallel-full") return ShuffleSchedule::kParallelFullDuplex;
+  if (name == "parallel-half") return ShuffleSchedule::kParallelHalfDuplex;
+  Flags::Fail("unknown --schedule=" + name);
+}
+
+// TeraValidate: global order + order-insensitive multiset checksum
+// against the generated input.
+ValidationReport Verify(const AlgorithmResult& result) {
+  const RecordChecksum expected = ChecksumOfInput(
+      TeraGen(result.config.seed, result.config.distribution),
+      result.config.num_records);
+  return ValidatePartitions(result.partitions, expected);
+}
+
+void Report(const AlgorithmResult& result, bool verify) {
+  std::cout << "--- " << result.algorithm << " ---\n";
+  if (verify) {
+    const ValidationReport report = Verify(result);
+    std::cout << "teravalidate: "
+              << (report.valid ? "OK" : "FAILED — " + report.error) << "\n";
+    if (!report.valid) std::exit(1);
+  }
+  TextTable wall(result.algorithm + " executed wall times");
+  wall.set_header({"stage", "seconds"});
+  for (const auto& [name, sec] : result.wall_seconds) {
+    wall.add_row({name, HumanSeconds(sec)});
+  }
+  wall.render(std::cout);
+  const auto shuffle = result.traffic.at(stage::kShuffle);
+  std::cout << "shuffle: "
+            << HumanBytes(static_cast<double>(shuffle.transmitted_bytes()))
+            << " transmitted (" << shuffle.unicast_msgs << " unicasts, "
+            << shuffle.mcast_msgs << " multicasts)\n\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  SortConfig config;
+  config.num_nodes = static_cast<int>(flags.GetU64("nodes", 8));
+  config.redundancy = static_cast<int>(flags.GetU64("redundancy", 3));
+  config.num_records = flags.GetU64("records", 200000);
+  config.seed = flags.GetU64("seed", 2017);
+  config.distribution = ParseDist(flags.Get("dist", "uniform"));
+  config.partitioner = flags.Get("partitioner", "range") == "sampled"
+                           ? PartitionerKind::kSampled
+                           : PartitionerKind::kRange;
+  config.codegen_mode = flags.Get("codegen", "split") == "batched"
+                            ? CodeGenMode::kBatched
+                            : CodeGenMode::kCommSplit;
+  const std::string algo = flags.Get("algo", "both");
+  const ShuffleSchedule schedule =
+      ParseSchedule(flags.Get("schedule", "serial"));
+  const std::uint64_t paper_records =
+      flags.GetU64("paper-records", config.num_records);
+  const bool verify = !flags.GetBool("no-verify");
+  flags.CheckAllConsumed();
+
+  std::cout << "ctsort: K=" << config.num_nodes << " r=" << config.redundancy
+            << " records=" << config.num_records << " ("
+            << HumanBytes(static_cast<double>(config.total_bytes()))
+            << ")\n\n";
+
+  const CostModel model;
+  const RunScale scale = PaperScale(config.num_records, paper_records);
+  std::vector<StageBreakdown> rows;
+
+  if (algo == "terasort" || algo == "both") {
+    const AlgorithmResult result = RunTeraSort(config);
+    Report(result, verify);
+    rows.push_back(SimulateRun(result, model, scale, schedule));
+  }
+  if (algo == "coded" || algo == "both") {
+    const AlgorithmResult result = RunCodedTeraSort(config);
+    Report(result, verify);
+    rows.push_back(SimulateRun(result, model, scale, schedule));
+  }
+  if (algo != "terasort" && algo != "coded" && algo != "both") {
+    Flags::Fail("unknown --algo=" + algo);
+  }
+
+  BreakdownTable("EC2-calibrated projection at " +
+                     HumanBytes(static_cast<double>(paper_records) *
+                                kRecordBytes) +
+                     " (100 Mbps)",
+                 rows)
+      .render(std::cout);
+  return 0;
+}
