@@ -16,25 +16,58 @@
 // medium to per-node RECEIVE occupancy — which coding does not reduce.
 // Coded TeraSort's advantage is a shared-/oversubscribed-network
 // phenomenon, and asynchronous execution shrinks it.
-// A discrete-event replay of the actual transmission logs
-// (simnet::ParallelMakespan) accompanies the closed forms: the closed
-// forms assume perfect overlap, while the replay respects the real
-// initiation order — the gap between them is the cost of the paper's
-// sender-serial ordering under a parallel network.
+//
+// Beyond the closed forms, the engine now EXECUTES asynchronously:
+// ShuffleSync::kOverlapped rebuilds the shuffle hot paths on
+// nonblocking isend/irecv (TeraSort posts all transfers up front,
+// CodedTeraSort fires every multicast of the round before draining,
+// CMR streams a file's values as soon as the file is mapped). The
+// discrete-event replay (analytics::ReplayShuffleSeconds over the
+// measured transmission logs) prices both initiation orders: the gap
+// between the barrier-synchronous log and the overlapped log under
+// the same parallel discipline is the cost of the paper's
+// sender-serial ordering — now closable by the engine, not just
+// priced.
 #include <iostream>
 
 #include "analytics/report.h"
 #include "bench/bench_common.h"
+#include "cmr/cmr.h"
 #include "codedterasort/coded_terasort.h"
 #include "common/table.h"
 #include "simmpi/world.h"
 #include "simnet/schedule.h"
 #include "terasort/terasort.h"
 
-int main() {
-  using namespace cts;
-  using namespace cts::bench;
+namespace {
 
+using namespace cts;
+using namespace cts::bench;
+
+// Replay pricing of one algorithm run: serial schedule plus the two
+// parallel disciplines. Barrier logs replay in recorded (global) log
+// order; overlapped logs replay per-sender, which is their
+// deterministic asynchronous semantics.
+void AddReplayRow(TextTable& table, const std::string& name,
+                  const AlgorithmResult& run, const CostModel& model,
+                  const RunScale& scale) {
+  const auto order = run.config.shuffle_sync == ShuffleSync::kOverlapped
+                         ? simnet::ReplayOrder::kPerSender
+                         : simnet::ReplayOrder::kLogOrder;
+  table.add_row(
+      {name,
+       TextTable::Num(ReplayShuffleSeconds(run, model, scale,
+                                           ShuffleSchedule::kSerial)),
+       TextTable::Num(ReplayShuffleSeconds(
+           run, model, scale, ShuffleSchedule::kParallelHalfDuplex, order)),
+       TextTable::Num(ReplayShuffleSeconds(
+           run, model, scale, ShuffleSchedule::kParallelFullDuplex,
+           order))});
+}
+
+}  // namespace
+
+int main() {
   const int K = 16;
   const SortConfig base = BenchConfig(K, 1, 600'000);
   std::cout << "=== Extension: parallel (asynchronous) shuffling (K=" << K
@@ -73,34 +106,103 @@ int main() {
     std::cout << '\n';
   }
 
-  // Discrete-event replay of the measured logs at executed scale:
-  // closed forms assume perfect overlap; list-scheduling the real
-  // initiation order shows what the paper's sender-serial ordering
-  // actually achieves on a parallel network.
+  // ---- Measured overlapped execution ----
+  // The same jobs rerun with the nonblocking overlapped shuffle; the
+  // transmission logs record the true initiation orders, and the
+  // discrete-event replay prices both. Closed forms assume perfect
+  // overlap; the replay shows what each initiation order actually
+  // achieves on a parallel network.
+  SortConfig over_cfg = base;
+  over_cfg.shuffle_sync = ShuffleSync::kOverlapped;
+  const AlgorithmResult plain_over = RunTeraSort(over_cfg);
+  over_cfg.redundancy = 3;
+  const AlgorithmResult coded3_over = RunCodedTeraSort(over_cfg);
+  over_cfg.redundancy = 5;
+  const AlgorithmResult coded5_over = RunCodedTeraSort(over_cfg);
+
   {
+    TextTable table(
+        "shuffle makespan from transmission-log replay (seconds at paper "
+        "scale; 'overlapped' rows replay the nonblocking engine's logs)");
+    table.set_header(
+        {"algorithm", "serial", "parallel half-dup", "parallel full-dup"});
+    AddReplayRow(table, "TeraSort barrier", plain, model, scale);
+    AddReplayRow(table, "TeraSort overlapped", plain_over, model, scale);
+    AddReplayRow(table, "CodedTeraSort r=3 barrier", coded3, model, scale);
+    AddReplayRow(table, "CodedTeraSort r=3 overlapped", coded3_over, model,
+                 scale);
+    AddReplayRow(table, "CodedTeraSort r=5 barrier", coded5, model, scale);
+    AddReplayRow(table, "CodedTeraSort r=5 overlapped", coded5_over, model,
+                 scale);
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+
+  // The engine claims, enforced: at K=16, r>1, the overlapped
+  // initiation order replayed on parallel links lands strictly below
+  // the paper's serial schedule, while moving byte-identical traffic.
+  {
+    const double serial3 =
+        ReplayShuffleSeconds(coded3, model, scale, ShuffleSchedule::kSerial);
+    const double over3 = ReplayShuffleSeconds(
+        coded3_over, model, scale, ShuffleSchedule::kParallelFullDuplex,
+        simnet::ReplayOrder::kPerSender);
+    CTS_CHECK_LT(over3, serial3);
+    CTS_CHECK_EQ(
+        coded3.traffic.at(stage::kShuffle).transmitted_bytes(),
+        coded3_over.traffic.at(stage::kShuffle).transmitted_bytes());
+  }
+
+  // ---- Generic CMR engine: pipelined map/shuffle overlap ----
+  // K=16, r=2 Grep: the uncoded engine streams each file's values as
+  // soon as the file is mapped; the coded engine posts the round's
+  // multicasts before draining. Loads are byte-identical to the
+  // barrier runs — overlap changes WHEN bytes move, never how many.
+  {
+    const int r = 2;
+    const auto app = cmr::MakeGrepApp("e", /*records_per_file=*/200);
+    cmr::CmrConfig cc;
+    cc.num_nodes = K;
+    cc.redundancy = r;
+    cc.seed = EnvU64("CTS_SEED", 2017);
+
     simnet::LinkModel link;
     link.bytes_per_sec = model.effective_link_rate();
     link.multicast_log_coeff = model.multicast_log_coeff;
+
     TextTable table(
-        "event-driven replay of the executed logs (seconds at executed "
-        "scale, full duplex)");
-    table.set_header({"algorithm", "serial replay", "parallel replay",
-                      "parallel link bound"});
-    const struct {
-      const char* name;
-      const AlgorithmResult* result;
-    } runs[] = {{"TeraSort", &plain},
-                {"CodedTeraSort r=3", &coded3},
-                {"CodedTeraSort r=5", &coded5}};
-    for (const auto& run : runs) {
-      const auto& log = run.result->shuffle_log;
+        "CMR Grep K=16 r=2: barrier vs overlapped shuffle (replay seconds "
+        "at executed scale)");
+    table.set_header({"mode", "payload load L", "serial replay",
+                      "overlap full-dup replay", "vs serial"});
+    for (const cmr::ShuffleMode mode :
+         {cmr::ShuffleMode::kUncoded, cmr::ShuffleMode::kCoded}) {
+      cc.mode = mode;
+      cc.sync = ShuffleSync::kBarrier;
+      const cmr::CmrResult barrier = RunCmr(*app, cc);
+      cc.sync = ShuffleSync::kOverlapped;
+      const cmr::CmrResult overlapped = RunCmr(*app, cc);
+
+      // Byte-identity: the overlap moves exactly the same traffic.
+      CTS_CHECK_EQ(barrier.shuffled_payload_bytes,
+                   overlapped.shuffled_payload_bytes);
+      CTS_CHECK_EQ(barrier.total_iv_bytes, overlapped.total_iv_bytes);
+      CTS_CHECK_EQ(barrier.traffic.at(stage::kShuffle).transmitted_bytes(),
+                   overlapped.traffic.at(stage::kShuffle).transmitted_bytes());
+
+      const double serial = simnet::ReplayMakespan(
+          barrier.shuffle_log, link, K, simnet::Discipline::kSerial);
+      const double over = simnet::ReplayMakespan(
+          overlapped.shuffle_log, link, K,
+          simnet::Discipline::kParallelFullDuplex,
+          simnet::ReplayOrder::kPerSender);
+      CTS_CHECK_LT(over, serial);  // K=16, r>1: strictly below
       table.add_row(
-          {run.name,
-           TextTable::Num(simnet::SerialMakespan(log, link)),
-           TextTable::Num(
-               simnet::ParallelMakespan(log, link, K, true)),
-           TextTable::Num(
-               simnet::ParallelLinkBound(log, link, K, true))});
+          {mode == cmr::ShuffleMode::kCoded ? "coded" : "uncoded",
+           TextTable::Num(barrier.measured_payload_load(), 4) + " == " +
+               TextTable::Num(overlapped.measured_payload_load(), 4),
+           TextTable::Num(serial, 4), TextTable::Num(over, 4),
+           TextTable::Num(serial / over, 2) + "x"});
     }
     table.render(std::cout);
     std::cout << '\n';
@@ -110,6 +212,8 @@ int main() {
                "~K-fold, while coded receivers still must take delivery of\n"
                "their full partitions — the coding speedup narrows toward\n"
                "(and below) 1. Coding pays when the network is serialized\n"
-               "or oversubscribed, exactly the regime the paper evaluates.\n";
+               "or oversubscribed, exactly the regime the paper evaluates.\n"
+               "The overlapped rows show the engine can now realize the\n"
+               "parallel schedules the closed forms only assumed.\n";
   return 0;
 }

@@ -59,6 +59,47 @@ namespace {
 // in the data scaling and the header/padding adjustment computed for
 // the serial path); `penalty` is the multicast fan-out factor applied
 // to transmissions only (receivers get plain copies).
+// Multicast fan-out penalty and the correction factor mapping raw
+// measured shuffle bytes to paper-scale bytes. For multicast runs the
+// correction folds in the header/padding adjustment: packet count is
+// combinatorial in (K, r), so header bytes and the zero-padding
+// residue (an artifact of per-value size *variance*, which shrinks as
+// 1/sqrt(records-per-value)) are charged unscaled — at paper scale
+// both are <1%.
+struct ShuffleScaling {
+  double penalty = 1.0;     // multicast fan-out factor (tx side only)
+  double correction = 1.0;  // measured bytes -> paper-scale bytes
+};
+
+ShuffleScaling ComputeShuffleScaling(const AlgorithmResult& result,
+                                     const CostModel& model,
+                                     const RunScale& scale) {
+  const auto sh = TrafficFor(result, stage::kShuffle);
+  ShuffleScaling s;
+  s.correction = 1.0 / scale.fraction;
+  if (sh.mcast_msgs > 0) {
+    std::uint64_t payload = 0;
+    std::uint64_t xor_bytes = 0;
+    for (const auto& w : result.work) {
+      payload += w.codec.encode_payload_bytes;
+      xor_bytes += w.codec.encode_xor_bytes;
+    }
+    CTS_CHECK_LE(payload, sh.mcast_bytes);
+    const double fanout = static_cast<double>(sh.mcast_recipient_bytes) /
+                          static_cast<double>(sh.mcast_bytes);
+    s.penalty = 1.0 + model.multicast_log_coeff * std::log2(fanout);
+    const double ideal_payload =
+        static_cast<double>(xor_bytes) / std::max(fanout, 1.0);
+    const double residue =
+        static_cast<double>(sh.mcast_bytes) -
+        std::min(ideal_payload, static_cast<double>(sh.mcast_bytes));
+    s.correction =
+        (scale.bytes(static_cast<std::uint64_t>(ideal_payload)) + residue) /
+        std::max(static_cast<double>(sh.mcast_bytes), 1.0);
+  }
+  return s;
+}
+
 double ParallelShuffleSeconds(const AlgorithmResult& result,
                               const CostModel& model, double correction,
                               double penalty, bool full_duplex) {
@@ -108,57 +149,23 @@ StageBreakdown SimulateRun(const AlgorithmResult& result,
   // overcharge small executed runs by up to tens of percent).
   {
     const auto sh = TrafficFor(result, stage::kShuffle);
-    // Multicast fan-out penalty and the correction factor mapping raw
-    // measured bytes to paper-scale bytes. For multicast runs the
-    // correction folds in the header/padding adjustment: packet count
-    // is combinatorial in (K, r), so header bytes and the zero-padding
-    // residue (an artifact of per-value size *variance*, which shrinks
-    // as 1/sqrt(records-per-value)) are charged unscaled — at paper
-    // scale both are <1%.
-    double penalty = 1.0;
-    double mcast_correction = 1.0 / scale.fraction;
-    if (sh.mcast_msgs > 0) {
-      std::uint64_t payload = 0;
-      std::uint64_t xor_bytes = 0;
-      for (const auto& w : result.work) {
-        payload += w.codec.encode_payload_bytes;
-        xor_bytes += w.codec.encode_xor_bytes;
-      }
-      CTS_CHECK_LE(payload, sh.mcast_bytes);
-      const double fanout = static_cast<double>(sh.mcast_recipient_bytes) /
-                            static_cast<double>(sh.mcast_bytes);
-      penalty = 1.0 + model.multicast_log_coeff * std::log2(fanout);
-      const double ideal_payload =
-          static_cast<double>(xor_bytes) / std::max(fanout, 1.0);
-      const double residue =
-          static_cast<double>(sh.mcast_bytes) -
-          std::min(ideal_payload, static_cast<double>(sh.mcast_bytes));
-      mcast_correction =
-          (scale.bytes(static_cast<std::uint64_t>(ideal_payload)) +
-           residue) /
-          std::max(static_cast<double>(sh.mcast_bytes), 1.0);
-    }
+    const ShuffleScaling s = ComputeShuffleScaling(result, model, scale);
 
     double seconds = 0;
     switch (schedule) {
       case ShuffleSchedule::kSerial:
         // The paper's discipline: one transmission at a time, so the
         // stage time is the sum over the shared medium.
-        seconds =
-            model.unicast_seconds(scale.bytes(sh.unicast_bytes)) +
-            static_cast<double>(sh.mcast_bytes) * mcast_correction *
-                penalty / model.effective_link_rate();
+        seconds = model.unicast_seconds(scale.bytes(sh.unicast_bytes)) +
+                  static_cast<double>(sh.mcast_bytes) * s.correction *
+                      s.penalty / model.effective_link_rate();
         break;
       case ShuffleSchedule::kParallelFullDuplex:
-      case ShuffleSchedule::kParallelHalfDuplex: {
-        const double correction = sh.mcast_msgs > 0
-                                      ? mcast_correction
-                                      : 1.0 / scale.fraction;
+      case ShuffleSchedule::kParallelHalfDuplex:
         seconds = ParallelShuffleSeconds(
-            result, model, correction, penalty,
+            result, model, s.correction, s.penalty,
             schedule == ShuffleSchedule::kParallelFullDuplex);
         break;
-      }
     }
     out.stages.push_back({stage::kShuffle, seconds});
   }
@@ -176,6 +183,36 @@ StageBreakdown SimulateRun(const AlgorithmResult& result,
          return model.reduce_seconds(w, scale, r);
        })});
   return out;
+}
+
+double ReplayShuffleSeconds(const AlgorithmResult& result,
+                            const CostModel& model, const RunScale& scale,
+                            ShuffleSchedule schedule,
+                            simnet::ReplayOrder order) {
+  const ShuffleScaling s = ComputeShuffleScaling(result, model, scale);
+  simnet::LinkModel link;
+  link.bytes_per_sec = model.effective_link_rate();
+  // The replay applies the fan-out penalty per transmission.
+  link.multicast_log_coeff = model.multicast_log_coeff;
+  simnet::Discipline discipline = simnet::Discipline::kSerial;
+  switch (schedule) {
+    case ShuffleSchedule::kSerial:
+      discipline = simnet::Discipline::kSerial;
+      break;
+    case ShuffleSchedule::kParallelHalfDuplex:
+      discipline = simnet::Discipline::kParallelHalfDuplex;
+      break;
+    case ShuffleSchedule::kParallelFullDuplex:
+      discipline = simnet::Discipline::kParallelFullDuplex;
+      break;
+  }
+  // s.correction maps measured bytes to paper-scale bytes; time is
+  // linear in bytes for a fixed schedule shape, so it applies to the
+  // replayed seconds directly.
+  return simnet::ReplayMakespan(result.shuffle_log, link,
+                                result.config.num_nodes, discipline,
+                                order) *
+         s.correction;
 }
 
 TextTable BreakdownTable(const std::string& title,

@@ -13,6 +13,7 @@
 #include "analytics/cost_model.h"
 #include "common/table.h"
 #include "driver/run_result.h"
+#include "simnet/schedule.h"
 
 namespace cts {
 
@@ -69,6 +70,22 @@ enum class ShuffleSchedule {
 StageBreakdown SimulateRun(const AlgorithmResult& result,
                            const CostModel& model, const RunScale& scale,
                            ShuffleSchedule schedule = ShuffleSchedule::kSerial);
+
+// Prices the shuffle stage by discrete-event replay of the measured
+// transmission log (simnet::ReplayMakespan) instead of the closed
+// forms, scaled to paper bytes with the same correction the closed
+// forms use. The closed forms assume perfect overlap; the replay
+// respects the log's actual initiation order, so it separates what
+// the paper's sender-serial ordering achieves on a parallel network
+// (ShuffleSync::kBarrier logs) from what the overlapped engine
+// achieves (ShuffleSync::kOverlapped logs). `order` picks the replay
+// constraint — kLogOrder for the recorded global sequence,
+// kPerSender for fully asynchronous initiation (deterministic for
+// overlapped runs).
+double ReplayShuffleSeconds(
+    const AlgorithmResult& result, const CostModel& model,
+    const RunScale& scale, ShuffleSchedule schedule,
+    simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder);
 
 // Renders breakdowns as a paper-style table: one row per run, columns
 // CodeGen / Map / Pack-Encode / Shuffle / Unpack-Decode / Reduce /

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
+#include <utility>
 
 #include "coding/codec.h"
 #include "coding/placement.h"
@@ -14,6 +16,7 @@
 #include "common/random.h"
 #include "driver/cluster.h"
 #include "simmpi/comm.h"
+#include "simmpi/multicast_round.h"
 #include "simmpi/world.h"
 
 namespace cts::cmr {
@@ -85,102 +88,139 @@ CmrResult RunCmr(const CmrApp& app, const CmrConfig& config) {
 
     // ---- Map ----
     // own_ivs[f] = I^self_f for files this node holds; kept[t][f] =
-    // serialized I^t_f this node retains for the shuffle.
+    // serialized I^t_f this node retains for the shuffle. The body is
+    // shared between the barrier-synchronous Map stage and the
+    // pipelined map/shuffle overlap; `on_file_mapped` (may be null)
+    // fires after each file's values are stored.
     std::map<FileId, std::vector<std::uint8_t>> own_ivs;
     std::map<IvKey, std::vector<std::uint8_t>> kept;
-    stages.run(stage::kMap, [&] {
-      for (const FileId f : placement.files_on_node(self)) {
-        const NodeMask mask = placement.file_nodes(f);
-        const auto records = app.make_file(f, config.seed);
-        auto ivs = app.map(records, K);
-        CTS_CHECK_EQ(static_cast<int>(ivs.size()), K);
-        // The lowest-id holder accounts the Q*N normalizer once.
-        if (MinMember(mask) == self) {
-          std::uint64_t bytes = 0;
-          for (const auto& iv : ivs) bytes += iv.size();
-          total_iv_bytes.fetch_add(bytes);
-        }
-        for (int t = 0; t < K; ++t) {
-          auto& iv = ivs[static_cast<std::size_t>(t)];
-          if (t == self) {
-            own_ivs.emplace(f, std::move(iv));
-          } else if (!Contains(mask, t)) {
-            kept.emplace(IvKey{t, f}, std::move(iv));
-          }
-        }
-      }
-    });
-
-    // ---- Shuffle ----
-    // Either plain serial unicast (lowest holder sends each needed IV)
-    // or the Algorithm 1/2 coded multicast. Received values are keyed
-    // by file.
-    std::map<FileId, std::vector<std::uint8_t>> received;
-    stages.run(stage::kShuffle, [&] {
-      if (config.mode == ShuffleMode::kUncoded) {
-        for (NodeId sender = 0; sender < K; ++sender) {
-          for (FileId f = 0; f < N; ++f) {
+    const auto map_files =
+        [&](const std::function<void(FileId)>& on_file_mapped) {
+          for (const FileId f : placement.files_on_node(self)) {
             const NodeMask mask = placement.file_nodes(f);
-            if (MinMember(mask) != sender) continue;
-            if (sender == self) {
-              for (NodeId t = 0; t < K; ++t) {
-                if (Contains(mask, t) || t == self) continue;
-                const auto& iv = kept.at(IvKey{t, f});
-                payload_bytes.fetch_add(iv.size());
-                comm.send(t, kTagBase + f, iv);
+            const auto records = app.make_file(f, config.seed);
+            auto ivs = app.map(records, K);
+            CTS_CHECK_EQ(static_cast<int>(ivs.size()), K);
+            // The lowest-id holder accounts the Q*N normalizer once.
+            if (MinMember(mask) == self) {
+              std::uint64_t bytes = 0;
+              for (const auto& iv : ivs) bytes += iv.size();
+              total_iv_bytes.fetch_add(bytes);
+            }
+            for (int t = 0; t < K; ++t) {
+              auto& iv = ivs[static_cast<std::size_t>(t)];
+              if (t == self) {
+                own_ivs.emplace(f, std::move(iv));
+              } else if (!Contains(mask, t)) {
+                kept.emplace(IvKey{t, f}, std::move(iv));
               }
-            } else if (!Contains(mask, self)) {
-              Buffer payload = comm.recv(sender, kTagBase + f);
-              received.emplace(f, payload.take());
             }
+            if (on_file_mapped) on_file_mapped(f);
           }
-        }
-      } else {
-        // Coded: encode, serial multicast, decode (same codec as
-        // CodedTeraSort; stage split is not needed here because the
-        // generic engine reports loads, not stage times).
-        const IvAccess iv_access =
-            [&](NodeId target,
-                NodeMask file) -> std::span<const std::uint8_t> {
-          return kept.at(IvKey{target, placement.file_of(file)});
         };
-        std::map<NodeMask, Buffer> outgoing;
-        for (const auto& [g, gc] : groups) {
-          const CodedPacket packet = EncodePacket(g, self, iv_access);
-          payload_bytes.fetch_add(packet.payload.size());
-          Buffer wire;
-          packet.serialize(wire);
-          outgoing.emplace(g, std::move(wire));
+
+    // The uncoded sends of one mapped file (lowest holder only).
+    // `post` transmits one intermediate value to one target rank.
+    const auto send_file_ivs =
+        [&](FileId f,
+            const std::function<void(NodeId, simmpi::Tag,
+                                     const std::vector<std::uint8_t>&)>&
+                post) {
+          const NodeMask mask = placement.file_nodes(f);
+          if (MinMember(mask) != self) return;
+          for (NodeId t = 0; t < K; ++t) {
+            if (Contains(mask, t) || t == self) continue;
+            const auto& iv = kept.at(IvKey{t, f});
+            payload_bytes.fetch_add(iv.size());
+            post(t, kTagBase + f, iv);
+          }
+        };
+
+    std::map<FileId, std::vector<std::uint8_t>> received;
+    const bool overlapped = config.sync == ShuffleSync::kOverlapped;
+
+    if (config.mode == ShuffleMode::kUncoded && overlapped) {
+      // ---- Pipelined Map+Shuffle (one merged stage, labeled Shuffle
+      // so the traffic lands where the load accounting expects it;
+      // Map itself generates no traffic) ----
+      // Receives are posted before mapping begins; each file's values
+      // go on the wire the moment the file is mapped.
+      stages.run(stage::kShuffle, [&] {
+        std::vector<std::pair<FileId, simmpi::Request>> recvs;
+        for (FileId f = 0; f < N; ++f) {
+          const NodeMask mask = placement.file_nodes(f);
+          if (Contains(mask, self)) continue;
+          recvs.emplace_back(
+              f, comm.irecv(comm.rank_of_global(MinMember(mask)),
+                            kTagBase + f));
         }
-        std::map<std::pair<NodeMask, NodeId>, Buffer> incoming;
-        for (const NodeMask g : placement.multicast_groups()) {
-          const auto it = groups.find(g);
-          if (it == groups.end()) continue;
-          simmpi::Comm& gc = it->second;
-          for (int root = 0; root < gc.size(); ++root) {
-            if (gc.rank() == root) {
-              gc.bcast(root, outgoing.at(g));
-            } else {
-              Buffer payload;
-              gc.bcast(root, payload);
-              incoming.emplace(std::pair{g, gc.global(root)},
-                               std::move(payload));
+        map_files([&](FileId f) {
+          send_file_ivs(f, [&](NodeId t, simmpi::Tag tag,
+                               const std::vector<std::uint8_t>& iv) {
+            (void)comm.isend(t, tag, iv);
+          });
+        });
+        for (auto& [f, req] : recvs) {
+          received.emplace(f, comm.wait(req).take());
+        }
+      });
+    } else {
+      stages.run(stage::kMap, [&] { map_files(nullptr); });
+
+      // ---- Shuffle ----
+      // Either plain unicast (lowest holder sends each needed IV) or
+      // the Algorithm 1/2 coded multicast. Received values are keyed
+      // by file.
+      stages.run(stage::kShuffle, [&] {
+        if (config.mode == ShuffleMode::kUncoded) {
+          for (NodeId sender = 0; sender < K; ++sender) {
+            for (FileId f = 0; f < N; ++f) {
+              const NodeMask mask = placement.file_nodes(f);
+              if (MinMember(mask) != sender) continue;
+              if (sender == self) {
+                send_file_ivs(f, [&](NodeId t, simmpi::Tag tag,
+                                     const std::vector<std::uint8_t>& iv) {
+                  comm.send(t, tag, iv);
+                });
+              } else if (!Contains(mask, self)) {
+                Buffer payload = comm.recv(sender, kTagBase + f);
+                received.emplace(f, payload.take());
+              }
             }
           }
-        }
-        for (const auto& [g, gc] : groups) {
-          std::vector<DecodedSegment> segments;
-          for (const NodeId sender : MaskToNodes(WithoutNode(g, self))) {
-            Buffer& wire = incoming.at({g, sender});
-            const CodedPacket packet = CodedPacket::deserialize(wire);
-            segments.push_back(
-                DecodePacket(g, self, sender, packet, iv_access));
+        } else {
+          // Coded: encode, multicast, decode (same codec as
+          // CodedTeraSort; stage split is not needed here because the
+          // generic engine reports loads, not stage times).
+          const IvAccess iv_access =
+              [&](NodeId target,
+                  NodeMask file) -> std::span<const std::uint8_t> {
+            return kept.at(IvKey{target, placement.file_of(file)});
+          };
+          std::map<NodeMask, Buffer> outgoing;
+          for (const auto& [g, gc] : groups) {
+            const CodedPacket packet = EncodePacket(g, self, iv_access);
+            payload_bytes.fetch_add(packet.payload.size());
+            Buffer wire;
+            packet.serialize(wire);
+            outgoing.emplace(g, std::move(wire));
           }
-          received.emplace(placement.file_of(WithoutNode(g, self)),
-                           MergeSegments(segments));
+          std::map<std::pair<NodeMask, NodeId>, Buffer> incoming =
+              simmpi::MulticastRound(groups, outgoing, overlapped);
+          for (const auto& [g, gc] : groups) {
+            std::vector<DecodedSegment> segments;
+            for (const NodeId sender : MaskToNodes(WithoutNode(g, self))) {
+              Buffer& wire = incoming.at({g, sender});
+              const CodedPacket packet = CodedPacket::deserialize(wire);
+              segments.push_back(
+                  DecodePacket(g, self, sender, packet, iv_access));
+            }
+            received.emplace(placement.file_of(WithoutNode(g, self)),
+                             MergeSegments(segments));
+          }
         }
-      }
-    });
+      });
+    }
 
     // ---- Reduce ----
     stages.run(stage::kReduce, [&] {
@@ -212,6 +252,7 @@ CmrResult RunCmr(const CmrApp& app, const CmrConfig& config) {
   }
   result.total_iv_bytes = total_iv_bytes.load();
   result.shuffled_payload_bytes = payload_bytes.load();
+  result.shuffle_log = world.stats().transmission_log(stage::kShuffle);
   CTS_CHECK_EQ(world.pending_messages(), std::size_t{0});
   return result;
 }

@@ -17,6 +17,18 @@
 // The two shuffles move exactly the loads of paper eq. (2):
 // L_uncoded = 1 - r/K and L_coded = (1/r)(1 - r/K) (bench_fig2
 // verifies this equality on measured traffic).
+//
+// Shuffle sequencing (ShuffleSync in CmrConfig): kBarrier runs the
+// paper's synchronous stage-after-stage protocol. kOverlapped is the
+// asynchronous-execution extension (paper Section VI): the uncoded
+// engine pipelines Map with Shuffle — a node starts transmitting a
+// file's intermediate values (nonblocking isend) as soon as that file
+// is mapped, with receives posted before mapping begins — and the
+// coded engine posts all multicast packets of the round before
+// draining receives. Overlap never changes the bytes on the wire
+// (loads are byte-identical; tests/property_test.cc asserts this);
+// it only changes the initiation ORDER, which the transmission-log
+// replay (simnet::ReplayMakespan) prices under parallel links.
 #pragma once
 
 #include <cstdint>
@@ -63,6 +75,9 @@ struct CmrConfig {
   int redundancy = 1;  // r
   std::uint64_t seed = 7;
   ShuffleMode mode = ShuffleMode::kUncoded;
+  // Barrier-synchronous stages (the paper) or the pipelined
+  // map/shuffle overlap on nonblocking sends (Section VI extension).
+  ShuffleSync sync = ShuffleSync::kBarrier;
 };
 
 struct CmrResult {
@@ -77,6 +92,9 @@ struct CmrResult {
   // Pure intermediate-value payload shuffled (no packet headers):
   // uncoded = IV bytes unicast, coded = XOR-packet payload bytes.
   std::uint64_t shuffled_payload_bytes = 0;
+  // Ordered shuffle transmissions (true initiation order), for
+  // discrete-event replay by simnet::ReplayMakespan.
+  simnet::TransmissionLog shuffle_log;
 
   // Measured communication load on the wire (includes packet framing):
   // transmitted bytes / total IV bytes (the paper's L).

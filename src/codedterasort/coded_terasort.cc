@@ -11,6 +11,7 @@
 #include "driver/partition_util.h"
 #include "keyvalue/recordio.h"
 #include "keyvalue/teragen.h"
+#include "simmpi/multicast_round.h"
 
 namespace cts {
 
@@ -142,25 +143,16 @@ void CodedTeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
     }
   });
 
-  // ---- Multicast Shuffling: serial, groups in colex order, members
-  // in ascending order within a group (paper Fig. 9(b)) ----
+  // ---- Multicast Shuffling ----
+  // kBarrier: serial, groups in colex order, members in ascending
+  // order within a group (paper Fig. 9(b)). kOverlapped: the whole
+  // round's coded packets are posted before any receive drains. Both
+  // schedules live in simmpi::MulticastRound.
   std::map<std::pair<NodeMask, NodeId>, Buffer> incoming;
   stages.run(stage::kShuffle, [&] {
-    for (const NodeMask g : placement.multicast_groups()) {
-      const auto it = groups.find(g);
-      if (it == groups.end()) continue;  // not a member of this group
-      simmpi::Comm& gc = it->second;
-      for (int root = 0; root < gc.size(); ++root) {
-        if (gc.rank() == root) {
-          gc.bcast(root, outgoing.at(g));
-        } else {
-          Buffer payload;
-          gc.bcast(root, payload);
-          incoming.emplace(std::pair{g, gc.global(root)},
-                           std::move(payload));
-        }
-      }
-    }
+    incoming = simmpi::MulticastRound(
+        groups, outgoing,
+        config.shuffle_sync == ShuffleSync::kOverlapped);
   });
 
   // ---- Decode ----

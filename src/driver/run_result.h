@@ -53,6 +53,19 @@ enum class CodeGenMode {
                // to plan bookkeeping
 };
 
+// How the shuffle is sequenced relative to the rest of the node
+// program (paper Section VI, "Asynchronous Execution"):
+enum class ShuffleSync {
+  kBarrier,     // the paper: barrier, then strictly ordered blocking
+                // sends — one sender occupies the network at a time
+  kOverlapped,  // extension: nonblocking isend/irecv; senders post all
+                // transmissions up front (and, where the data flow
+                // allows, while upstream stages are still running) and
+                // drain receives afterwards. Moves byte-identical
+                // traffic in an initiation order that parallel links
+                // can actually overlap.
+};
+
 // Configuration of one sorting job.
 struct SortConfig {
   int num_nodes = 4;           // K
@@ -65,6 +78,8 @@ struct SortConfig {
   std::uint64_t sample_size = 1000;
   // Multicast-group creation strategy (CodedTeraSort only).
   CodeGenMode codegen_mode = CodeGenMode::kCommSplit;
+  // Shuffle sequencing (both algorithms).
+  ShuffleSync shuffle_sync = ShuffleSync::kBarrier;
 
   std::uint64_t total_bytes() const { return num_records * kRecordBytes; }
 };

@@ -45,6 +45,86 @@ Buffer Comm::recv(int src_rank, Tag tag) {
   return world_->mailbox(my_global()).receive(id_, global(src_rank), tag);
 }
 
+Request Comm::isend(int dst_rank, Tag tag,
+                    std::span<const std::uint8_t> payload) {
+  CTS_CHECK_GE(tag, 0);  // negative tags are reserved for collectives
+  if (dst_rank != rank_) {
+    // Accounted at initiation: the eager copy below is the moment the
+    // bytes occupy the wire, so overlapped schedules measure the same
+    // loads as blocking ones.
+    world_->stats().record_unicast(payload.size(), my_global(),
+                                   global(dst_rank));
+  }
+  // Self-sends are loopback: delivered, but never on the network.
+  deliver(dst_rank, tag, payload);
+  Request req;
+  req.kind_ = Request::Kind::kSend;
+  req.done_ = true;
+  return req;
+}
+
+Request Comm::irecv(int src_rank, Tag tag) {
+  CTS_CHECK_GE(src_rank, 0);
+  CTS_CHECK_LT(src_rank, size());
+  CTS_CHECK_GE(tag, 0);
+  return post_recv(global(src_rank), tag);
+}
+
+Request Comm::ibcast_recv(int root_rank) {
+  CTS_CHECK_GE(root_rank, 0);
+  CTS_CHECK_LT(root_rank, size());
+  CTS_CHECK_MSG(root_rank != rank_,
+                "ibcast_recv at the root (rank " << rank_ << ")");
+  return post_recv(global(root_rank), kTagBcast);
+}
+
+Request Comm::post_recv(NodeId src, Tag tag) {
+  Request req;
+  req.kind_ = Request::Kind::kRecv;
+  req.mailbox_ = &world_->mailbox(my_global());
+  req.comm_ = id_;
+  req.src_ = src;
+  req.tag_ = tag;
+  // The ticket reserves the key's next match slot NOW: posted
+  // receives complete in posting order (MPI matching semantics),
+  // whatever order they are waited in.
+  req.ticket_ = req.mailbox_->post(id_, src, tag);
+  return req;
+}
+
+Buffer Comm::wait(Request& req) {
+  CTS_CHECK_MSG(!req.null(), "wait on a null request");
+  if (req.kind_ == Request::Kind::kSend) return Buffer{};
+  if (!req.done_) {
+    req.payload_ =
+        req.mailbox_->claim(req.comm_, req.src_, req.tag_, req.ticket_);
+    req.mailbox_->retire_recv();
+    req.done_ = true;
+  }
+  CTS_CHECK_MSG(req.mailbox_ != nullptr, "request waited twice");
+  req.mailbox_ = nullptr;  // consumed
+  return std::move(req.payload_);
+}
+
+std::vector<Buffer> Comm::waitall(std::vector<Request>& reqs) {
+  std::vector<Buffer> out;
+  out.reserve(reqs.size());
+  for (Request& req : reqs) out.push_back(wait(req));
+  return out;
+}
+
+bool Comm::test(Request& req) {
+  CTS_CHECK_MSG(!req.null(), "test on a null request");
+  if (req.done_) return true;
+  auto got =
+      req.mailbox_->try_claim(req.comm_, req.src_, req.tag_, req.ticket_);
+  if (!got.has_value()) return false;
+  req.payload_ = std::move(*got);
+  req.mailbox_->retire_recv();
+  req.done_ = true;
+  return true;
+}
+
 void Comm::bcast(int root_rank, Buffer& payload) {
   CTS_CHECK_GE(root_rank, 0);
   CTS_CHECK_LT(root_rank, size());

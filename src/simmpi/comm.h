@@ -12,12 +12,18 @@
 //   MPI_Comm_split        -> Comm::split (collective; color < 0 is
 //                            MPI_UNDEFINED)
 //   MPI_Gather             -> Comm::gather (control-plane, unaccounted)
+//   MPI_Isend / MPI_Irecv  -> Comm::isend / Comm::irecv (nonblocking,
+//                            returning a Request; complete with
+//                            wait / waitall / test)
 //
 // Traffic accounting: send() records a unicast and bcast() records a
 // multicast with its fan-out into World::stats() under the current
-// stage label. Control-plane traffic (barrier tokens, gather of
-// results/timings) is deliberately NOT accounted — the paper's tables
-// measure shuffle payloads, not MPI control overhead.
+// stage label. Nonblocking sends account at INITIATION (isend is
+// eager-buffered, so initiation is when the bytes hit the wire) —
+// overlapped and barrier-synchronous schedules therefore measure
+// byte-identical loads. Control-plane traffic (barrier tokens, gather
+// of results/timings) is deliberately NOT accounted — the paper's
+// tables measure shuffle payloads, not MPI control overhead.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +31,7 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/buffer.h"
@@ -32,6 +39,55 @@
 #include "simmpi/world.h"
 
 namespace cts::simmpi {
+
+// Handle for one nonblocking operation (MPI_Request). Move-only; owned
+// by the node thread that initiated it. Send requests are born
+// complete (sends are eager-buffered); receive requests complete when
+// wait() or a successful test() matches the message. A posted receive
+// that is never completed is counted by Mailbox::pending() — and hence
+// World::pending_messages() — so abandoned requests fail the shutdown
+// hygiene checks instead of vanishing silently.
+class Request {
+ public:
+  Request() = default;
+  // Moves reset the source to a null handle so a moved-from Request
+  // cannot double-claim its ticket or double-retire the posted-recv
+  // counter (wait/test on it throw instead).
+  Request(Request&& o) noexcept { *this = std::move(o); }
+  Request& operator=(Request&& o) noexcept {
+    if (this != &o) {
+      kind_ = std::exchange(o.kind_, Kind::kNull);
+      mailbox_ = std::exchange(o.mailbox_, nullptr);
+      comm_ = o.comm_;
+      src_ = o.src_;
+      tag_ = o.tag_;
+      ticket_ = o.ticket_;
+      done_ = std::exchange(o.done_, false);
+      payload_ = std::move(o.payload_);
+    }
+    return *this;
+  }
+  Request(const Request&) = delete;
+  Request& operator=(const Request&) = delete;
+
+  // True once the operation finished (always true for send requests).
+  bool done() const { return done_; }
+  // True for a default-constructed handle that never held an op.
+  bool null() const { return kind_ == Kind::kNull; }
+
+ private:
+  friend class Comm;
+  enum class Kind { kNull, kSend, kRecv };
+
+  Kind kind_ = Kind::kNull;
+  class Mailbox* mailbox_ = nullptr;  // receiving mailbox (recv only)
+  CommId comm_ = 0;
+  NodeId src_ = -1;  // global node id of the sender (recv only)
+  Tag tag_ = 0;
+  std::uint64_t ticket_ = 0;  // match slot reserved at posting time
+  bool done_ = false;
+  Buffer payload_;  // completed receive's message
+};
 
 class Comm {
  public:
@@ -63,6 +119,46 @@ class Comm {
     send(dst_rank, tag, payload.span());
   }
   Buffer recv(int src_rank, Tag tag);
+
+  // ---- Nonblocking point-to-point ----
+  //
+  // isend is eager-buffered: the payload is copied into the
+  // destination mailbox and the unicast is accounted immediately (at
+  // initiation), so the returned request is already complete — exactly
+  // MPI_Isend under an eager protocol. Unlike the blocking pair,
+  // self-sends are legal (loopback; not accounted as network traffic):
+  // isend(self) + irecv(self) cannot deadlock.
+  Request isend(int dst_rank, Tag tag, std::span<const std::uint8_t> payload);
+  Request isend(int dst_rank, Tag tag, const Buffer& payload) {
+    return isend(dst_rank, tag, payload.span());
+  }
+
+  // Posts a receive for (src_rank, tag) on this communicator. FIFO
+  // matching per (source, tag, comm) is preserved: two irecvs posted
+  // for the same key complete in posting order with the messages in
+  // sending order. Complete with wait / waitall / test.
+  Request irecv(int src_rank, Tag tag);
+
+  // Posts the receive side of a bcast rooted at `root_rank` (the
+  // root's own bcast() call already returns without waiting, so this
+  // is all that is needed to overlap multicast rounds). Pairs with the
+  // root calling bcast().
+  Request ibcast_recv(int root_rank);
+
+  // Blocks until `req` completes; returns the received message (an
+  // empty Buffer for send requests). A request can be waited only
+  // once. Static (like MPI_Wait, completion needs no communicator);
+  // callable through any Comm instance.
+  static Buffer wait(Request& req);
+
+  // Waits on every request, in order; returns the messages in request
+  // order (empty Buffers for sends).
+  static std::vector<Buffer> waitall(std::vector<Request>& reqs);
+
+  // Nonblocking completion probe: returns true iff the request is
+  // complete (matching it if the message has arrived), after which
+  // wait() returns without blocking.
+  static bool test(Request& req);
 
   // ---- Collectives ----
 
@@ -118,6 +214,7 @@ class Comm {
       : world_(world), id_(id), members_(std::move(members)), rank_(rank) {}
 
   void deliver(int dst_rank, Tag tag, std::span<const std::uint8_t> payload);
+  Request post_recv(NodeId src, Tag tag);
 
   static constexpr Tag kTagBcast = -1;
   static constexpr Tag kTagBarrier = -2;

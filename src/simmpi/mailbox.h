@@ -1,18 +1,33 @@
-// Blocking point-to-point message transport.
+// Point-to-point message transport (blocking and nonblocking fronts).
 //
 // One Mailbox per destination node. Messages are keyed by
-// (communicator id, source node, tag) and delivered FIFO per key —
+// (communicator id, source node, tag) and matched FIFO per key —
 // exactly MPI's non-overtaking guarantee for matching (source, tag,
 // comm) triples. send() is eager-buffered (copies the payload into the
 // destination mailbox and returns), which matches MPI_Send semantics
 // for the message sizes the simulator moves.
+//
+// Matching happens in POSTING order, as in MPI: every receive — the
+// blocking receive() as well as a posted irecv — takes a ticket, the
+// next free slot in the key's match sequence, and the ticket claims
+// the message with the same arrival index. Two irecvs posted for one
+// key therefore complete with the first and second message sent on
+// that key no matter which is waited first. try_claim (a non-waiting
+// probe) backs Comm::test.
+//
+// Posted-receive tracking: every posted irecv increments a counter
+// that only its completing wait/test decrements, so a receive that is
+// posted but never matched shows up in pending() — and hence in
+// World::pending_messages() — at shutdown, exactly like a leaked
+// message would.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <tuple>
 
 #include "common/buffer.h"
@@ -29,41 +44,102 @@ class Mailbox {
   void deliver(CommId comm, NodeId src, Tag tag, Buffer payload) {
     {
       std::lock_guard lock(mu_);
-      queues_[Key{comm, src, tag}].push_back(std::move(payload));
+      auto& state = keys_[Key{comm, src, tag}];
+      state.msgs.emplace(state.arrived++, std::move(payload));
     }
     cv_.notify_all();
   }
 
-  // Blocks until a message with the exact (comm, src, tag) key arrives,
-  // then removes and returns it.
-  Buffer receive(CommId comm, NodeId src, Tag tag) {
+  // Reserves the next match slot of the key (the posting half of an
+  // irecv). The returned ticket is redeemed with claim / try_claim.
+  std::uint64_t post(CommId comm, NodeId src, Tag tag) {
+    std::lock_guard lock(mu_);
+    posted_recvs_.fetch_add(1, std::memory_order_relaxed);
+    return keys_[Key{comm, src, tag}].next_ticket++;
+  }
+
+  // Blocks until the message with arrival index `ticket` on the key
+  // is present, then removes and returns it.
+  Buffer claim(CommId comm, NodeId src, Tag tag, std::uint64_t ticket) {
     std::unique_lock lock(mu_);
     const Key key{comm, src, tag};
     cv_.wait(lock, [&] {
-      const auto it = queues_.find(key);
-      return it != queues_.end() && !it->second.empty();
+      const auto it = keys_.find(key);
+      return it != keys_.end() && it->second.msgs.contains(ticket);
     });
-    auto it = queues_.find(key);
-    Buffer payload = std::move(it->second.front());
-    it->second.pop_front();
-    if (it->second.empty()) queues_.erase(it);
-    return payload;
+    return take(key, ticket);
   }
 
-  // Number of queued messages (for tests and leak checks).
+  // Non-waiting claim: removes and returns the ticket's message if it
+  // has already arrived, nullopt otherwise.
+  std::optional<Buffer> try_claim(CommId comm, NodeId src, Tag tag,
+                                  std::uint64_t ticket) {
+    std::lock_guard lock(mu_);
+    const Key key{comm, src, tag};
+    const auto it = keys_.find(key);
+    if (it == keys_.end() || !it->second.msgs.contains(ticket)) {
+      return std::nullopt;
+    }
+    return take(key, ticket);
+  }
+
+  // Blocking receive: reserve the key's next match slot and claim it.
+  Buffer receive(CommId comm, NodeId src, Tag tag) {
+    std::uint64_t ticket;
+    {
+      std::lock_guard lock(mu_);
+      ticket = keys_[Key{comm, src, tag}].next_ticket++;
+    }
+    return claim(comm, src, tag, ticket);
+  }
+
+  // Retires a posted receive once its wait/test completed it. An
+  // abandoned request is deliberately never retired so leak checks
+  // see it.
+  void retire_recv() {
+    posted_recvs_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  // Queued messages plus still-posted receives (for tests and
+  // shutdown leak checks; both must drain to zero on a clean run).
   std::size_t pending() const {
     std::lock_guard lock(mu_);
-    std::size_t n = 0;
-    for (const auto& [key, q] : queues_) n += q.size();
+    std::size_t n = posted_recvs_.load(std::memory_order_relaxed);
+    for (const auto& [key, state] : keys_) n += state.msgs.size();
     return n;
   }
 
  private:
   using Key = std::tuple<CommId, NodeId, Tag>;
 
+  // Per-key match state. `arrived` and `next_ticket` never reset while
+  // the key is live; the state is reclaimed once every delivered
+  // message has been claimed and no reservation is outstanding.
+  struct KeyState {
+    std::map<std::uint64_t, Buffer> msgs;  // arrival index -> message
+    std::uint64_t arrived = 0;             // messages ever delivered
+    std::uint64_t next_ticket = 0;         // match slots ever reserved
+  };
+
+  // Requires mu_ held and the ticket's message present. Reclaims the
+  // key state only when nothing is queued AND no reservation is
+  // outstanding (an outstanding ticket anticipates a future arrival
+  // index, which an erase would reset).
+  Buffer take(const Key& key, std::uint64_t ticket) {
+    const auto it = keys_.find(key);
+    Buffer payload = std::move(it->second.msgs.at(ticket));
+    it->second.msgs.erase(ticket);
+    if (it->second.msgs.empty() &&
+        it->second.next_ticket == it->second.arrived) {
+      keys_.erase(it);
+    }
+    return payload;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<Key, std::deque<Buffer>> queues_;
+  std::map<Key, KeyState> keys_;
+  std::atomic<std::size_t> posted_recvs_{0};
 };
 
 }  // namespace cts::simmpi

@@ -85,7 +85,8 @@ class TrafficStats {
     if (src >= 0) node_traffic(src).tx_bytes += bytes;
     if (dst >= 0) node_traffic(dst).rx_bytes += bytes;
     if (src >= 0 && dst >= 0) {
-      logs_[current_].push_back({src, {dst}, bytes});
+      auto& log = logs_[current_];
+      log.push_back({src, {dst}, bytes, log.size()});
     }
   }
 
@@ -102,7 +103,8 @@ class TrafficStats {
     if (src >= 0) node_traffic(src).tx_bytes += bytes;
     for (const NodeId d : recipients) node_traffic(d).rx_bytes += bytes;
     if (src >= 0 && !recipients.empty()) {
-      logs_[current_].push_back({src, recipients, bytes});
+      auto& log = logs_[current_];
+      log.push_back({src, recipients, bytes, log.size()});
     }
   }
 

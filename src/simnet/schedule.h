@@ -31,6 +31,30 @@ struct LinkModel {
   double rx_seconds(const Transmission& t) const;
 };
 
+// Network discipline a log is replayed under.
+enum class Discipline {
+  kSerial,            // shared medium, one transmission at a time
+  kParallelHalfDuplex,  // per-node links; tx and rx share one link
+  kParallelFullDuplex,  // per-node links; tx and rx independent
+};
+
+// What constrains the order in which queued transmissions may start:
+enum class ReplayOrder {
+  // Global recorded order: transmission i+1 may not start before
+  // transmission i has started. This reproduces the engine's actual
+  // initiation sequence — the paper's sender-serial order for a
+  // barrier-synchronous run, the racy interleaving for an overlapped
+  // one.
+  kLogOrder,
+  // Only each sender's program order constrains: a sender's own
+  // transmissions start in seq order, but independent senders are
+  // free to start whenever their links allow. This prices a fully
+  // asynchronous initiation of the same traffic, and is deterministic
+  // for overlapped runs (per-sender order is program order, while the
+  // global interleaving is a thread race).
+  kPerSender,
+};
+
 // Makespan of the log executed one transmission at a time (shared
 // medium), i.e. the sum of sender-side durations.
 double SerialMakespan(const TransmissionLog& log, const LinkModel& link);
@@ -39,6 +63,14 @@ double SerialMakespan(const TransmissionLog& log, const LinkModel& link);
 // log order. `num_nodes` bounds the node ids appearing in the log.
 double ParallelMakespan(const TransmissionLog& log, const LinkModel& link,
                         int num_nodes, bool full_duplex);
+
+// Unified replay: prices `log` under a discipline and an initiation
+// order, distinguishing the serial, overlapped-half-duplex and
+// overlapped-full-duplex executions of the same traffic.
+// Discipline::kSerial ignores `order` (a sum is order-free).
+double ReplayMakespan(const TransmissionLog& log, const LinkModel& link,
+                      int num_nodes, Discipline discipline,
+                      ReplayOrder order = ReplayOrder::kLogOrder);
 
 // Lower bound for any parallel schedule: the busiest single link's
 // total occupancy (matches analytics' parallel closed form).

@@ -20,10 +20,24 @@ namespace cts::simnet {
 // One transmission: a unicast has a single destination; an
 // application-layer multicast lists all receivers of the single
 // logical transmission.
+//
+// `seq` is the global initiation index within the stage (assigned
+// under the traffic-stats lock at the instant the send hits the
+// transport), and equals the entry's position in the stage's log.
+// This makes initiation order an explicit attribute of each entry —
+// a barrier-synchronous run records the paper's sender-serial order,
+// an overlapped run records the true interleaved order — so a
+// replay can recover it even if a caller filters or reorders a
+// stage's log before replaying (seqs are unique within a stage; logs
+// of DIFFERENT stages must not be mixed, their seqs restart at 0).
+// Within one sender, seq order IS program order (a node thread
+// initiates its sends sequentially), which is what the per-sender
+// replay discipline relies on.
 struct Transmission {
   NodeId src = 0;
   std::vector<NodeId> dsts;
   std::uint64_t bytes = 0;
+  std::uint64_t seq = 0;
 
   bool is_multicast() const { return dsts.size() > 1; }
 };

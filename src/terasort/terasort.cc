@@ -77,8 +77,32 @@ void TeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
     }
   });
 
-  // ---- Shuffle: serial unicast, sender 0 first (paper Fig. 9(a)) ----
+  // ---- Shuffle ----
+  // kBarrier: serial unicast, sender 0 first (paper Fig. 9(a)) — the
+  // blocking receives sequence the senders so one transfer occupies
+  // the shared medium at a time.
+  // kOverlapped: every node posts its K-1 receives, fires all K-1
+  // sends nonblocking, then drains — all senders initiate
+  // concurrently, which parallel links can overlap.
   stages.run(stage::kShuffle, [&] {
+    if (config.shuffle_sync == ShuffleSync::kOverlapped) {
+      std::vector<simmpi::Request> recvs;
+      recvs.reserve(static_cast<std::size_t>(K) - 1);
+      for (int sender = 0; sender < K; ++sender) {
+        if (sender == self) continue;
+        recvs.push_back(comm.irecv(sender, kTagShuffle));
+      }
+      for (int j = 0; j < K; ++j) {
+        if (j == self) continue;
+        (void)comm.isend(j, kTagShuffle, packed[static_cast<std::size_t>(j)]);
+      }
+      std::size_t i = 0;
+      for (int sender = 0; sender < K; ++sender) {
+        if (sender == self) continue;
+        received[static_cast<std::size_t>(sender)] = comm.wait(recvs[i++]);
+      }
+      return;
+    }
     for (int sender = 0; sender < K; ++sender) {
       if (sender == self) {
         for (int j = 0; j < K; ++j) {

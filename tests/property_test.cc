@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "analytics/loads.h"
+#include "cmr/cmr.h"
 #include "codedterasort/coded_terasort.h"
 #include "common/random.h"
 #include "keyvalue/teravalidate.h"
@@ -60,6 +61,10 @@ RandomConfig Draw(Xoshiro256& rng) {
   }
   c.codegen_mode =
       rng.below(2) == 0 ? CodeGenMode::kCommSplit : CodeGenMode::kBatched;
+  // Half the sweep exercises the overlapped (nonblocking) shuffle;
+  // every invariant below must hold identically for it.
+  c.shuffle_sync =
+      rng.below(2) == 0 ? ShuffleSync::kBarrier : ShuffleSync::kOverlapped;
   return rc;
 }
 
@@ -83,6 +88,7 @@ TEST_P(RandomSweep, AllInvariantsHold) {
                << " dist=" << static_cast<int>(config.distribution)
                << " part=" << static_cast<int>(config.partitioner)
                << " codegen=" << static_cast<int>(config.codegen_mode)
+               << " sync=" << static_cast<int>(config.shuffle_sync)
                << " seed=" << config.seed);
 
   const AlgorithmResult coded = RunCodedTeraSort(config);
@@ -145,6 +151,117 @@ TEST_P(RandomSweep, AllInvariantsHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomSweep, ::testing::Range(0, 30));
+
+// ---- Eq. (2) exactness on the generic CMR engine ----
+//
+// With intermediate values of one fixed size s divisible by r, the
+// measured payload loads are EXACTLY the paper's eq. (2) — no routing
+// variance, no ragged-segment padding:
+//   uncoded: N*(K-r)*s / (N*K*s)              = 1 - r/K
+//   coded:   C(K,r+1)*(r+1)*(s/r) / (N*K*s)   = (1/r)*(1 - r/K)
+// And overlap must not change a single byte on the wire: the
+// barrier-synchronous and overlapped shuffles of the same
+// configuration move identical payloads and identical wire traffic.
+
+// Deterministic app emitting exactly `iv_bytes` per (file, reducer).
+class FixedSizeIvApp final : public cmr::CmrApp {
+ public:
+  explicit FixedSizeIvApp(std::size_t iv_bytes) : iv_bytes_(iv_bytes) {}
+
+  std::string name() const override { return "FixedSizeIv"; }
+
+  std::vector<std::string> make_file(FileId file,
+                                     std::uint64_t /*seed*/) const override {
+    return {std::to_string(file)};
+  }
+
+  std::vector<std::vector<std::uint8_t>> map(
+      const std::vector<std::string>& records,
+      int num_reducers) const override {
+    const auto file = static_cast<std::uint8_t>(std::stoi(records.at(0)));
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(static_cast<std::size_t>(num_reducers));
+    for (int q = 0; q < num_reducers; ++q) {
+      std::vector<std::uint8_t> iv(iv_bytes_);
+      for (std::size_t i = 0; i < iv.size(); ++i) {
+        iv[i] = static_cast<std::uint8_t>(file * 31 + q * 7 + i);
+      }
+      out.push_back(std::move(iv));
+    }
+    return out;
+  }
+
+  std::string reduce(
+      int reducer,
+      const std::vector<std::vector<std::uint8_t>>& values) const override {
+    std::uint64_t checksum = 0;
+    for (const auto& v : values) {
+      for (const std::uint8_t b : v) checksum = checksum * 131 + b;
+    }
+    return std::to_string(reducer) + ":" + std::to_string(checksum);
+  }
+
+ private:
+  std::size_t iv_bytes_;
+};
+
+class CmrLoadIdentity
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CmrLoadIdentity, PayloadLoadsMatchEquation2UnderBothSyncs) {
+  const auto [K, r] = GetParam();
+  // 720 is divisible by every r in the sweep, so coded segments are
+  // perfectly even and the identities hold exactly.
+  const FixedSizeIvApp app(720);
+  ASSERT_EQ(720 % r, 0);
+
+  cmr::CmrConfig config;
+  config.num_nodes = K;
+  config.redundancy = r;
+
+  for (const cmr::ShuffleMode mode :
+       {cmr::ShuffleMode::kUncoded, cmr::ShuffleMode::kCoded}) {
+    config.mode = mode;
+    config.sync = ShuffleSync::kBarrier;
+    const cmr::CmrResult barrier = RunCmr(app, config);
+    config.sync = ShuffleSync::kOverlapped;
+    const cmr::CmrResult overlapped = RunCmr(app, config);
+
+    const double expected = mode == cmr::ShuffleMode::kCoded
+                                ? CodedLoad(K, r)
+                                : UncodedLoad(K, r);
+    EXPECT_DOUBLE_EQ(barrier.measured_payload_load(), expected)
+        << "mode=" << static_cast<int>(mode);
+    EXPECT_DOUBLE_EQ(overlapped.measured_payload_load(), expected)
+        << "mode=" << static_cast<int>(mode);
+
+    // Overlap changes WHEN bytes move, never how many or which:
+    // payloads, wire traffic, message counts, per-transmission logs
+    // (up to initiation order) and outputs are all identical.
+    EXPECT_EQ(barrier.shuffled_payload_bytes,
+              overlapped.shuffled_payload_bytes);
+    EXPECT_EQ(barrier.total_iv_bytes, overlapped.total_iv_bytes);
+    const auto& bt = barrier.traffic.at(stage::kShuffle);
+    const auto& ot = overlapped.traffic.at(stage::kShuffle);
+    EXPECT_EQ(bt.transmitted_bytes(), ot.transmitted_bytes());
+    EXPECT_EQ(bt.unicast_msgs, ot.unicast_msgs);
+    EXPECT_EQ(bt.mcast_msgs, ot.mcast_msgs);
+    EXPECT_EQ(bt.mcast_recipient_bytes, ot.mcast_recipient_bytes);
+    EXPECT_EQ(barrier.shuffle_log.size(), overlapped.shuffle_log.size());
+    EXPECT_EQ(barrier.outputs, overlapped.outputs);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CmrLoadIdentity,
+    ::testing::Values(std::pair{2, 1}, std::pair{4, 1}, std::pair{4, 2},
+                      std::pair{6, 2}, std::pair{6, 3}, std::pair{8, 2},
+                      std::pair{8, 4}, std::pair{9, 3}, std::pair{10, 5},
+                      std::pair{6, 6}),
+    [](const auto& info) {
+      return "K" + std::to_string(info.param.first) + "r" +
+             std::to_string(info.param.second);
+    });
 
 }  // namespace
 }  // namespace cts
