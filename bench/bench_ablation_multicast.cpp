@@ -15,10 +15,11 @@
 #include "common/table.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("ablation_multicast", argc, argv);
   const int K = 16;
   const SortConfig base = BenchConfig(K, 1, 600'000);
   std::cout << "=== Ablation: multicast overhead model (K=" << K
@@ -42,6 +43,9 @@ int main() {
       CostModel model;
       model.multicast_log_coeff = coeff;
       const StageBreakdown b = SimulateRun(result, model, scale);
+      json.add("r" + std::to_string(r) + "_coeff" +
+                   TextTable::Num(coeff, 2) + "/total_s",
+               b.total());
       table.add_row({std::to_string(r), TextTable::Num(coeff, 2),
                      TextTable::Num(b.shuffle()),
                      TextTable::Num(baseline.shuffle() / b.shuffle(), 2) + "x",
@@ -69,5 +73,7 @@ int main() {
   std::cout << "\nWith coeff 0.32 the shuffle gain lands below r (the "
                "paper's\nobservation); true network-layer multicast "
                "(coeff 0) would recover\nnearly the full r-fold gain.\n";
+  json.add("terasort/total_s", baseline.total());
+  json.write();
   return 0;
 }

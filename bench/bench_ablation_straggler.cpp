@@ -46,10 +46,11 @@ cts::AlgorithmResult WithStraggler(cts::AlgorithmResult result,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("ablation_straggler", argc, argv);
   const int K = 16;
   const SortConfig base = BenchConfig(K, 1, 600'000);
   std::cout << "=== Ablation: one straggling node (K=" << K << ") ===\n";
@@ -75,6 +76,10 @@ int main() {
         SimulateRun(WithStraggler(plain, s), model, scale);
     const StageBreakdown c =
         SimulateRun(WithStraggler(coded, s), model, scale);
+    json.add("s" + TextTable::Num(s, 1) + "/terasort_total_s", p.total());
+    json.add("s" + TextTable::Num(s, 1) + "/coded_total_s", c.total());
+    json.add("s" + TextTable::Num(s, 1) + "/speedup",
+             p.total() / c.total());
     table.add_row({TextTable::Num(s, 1),
                    TextTable::Num(p.stage(stage::kMap)),
                    TextTable::Num(p.total()),
@@ -89,5 +94,6 @@ int main() {
                "compute stragglers — still\ndominates. Integrating "
                "[11]-style coded computation against\nstragglers is the "
                "paper's complementary direction.\n";
+  json.write();
   return 0;
 }

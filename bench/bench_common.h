@@ -21,7 +21,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,80 @@
 #include "driver/run_result.h"
 
 namespace cts::bench {
+
+// Machine-readable bench output: every bench binary accepts
+//   --json            write BENCH_<name>.json in the working directory
+//   --json=<path>     write to an explicit path
+// and dumps a flat metric -> value object, so CI can record the perf
+// trajectory run over run. Keys are stable identifiers
+// ("terasort/total_s"); values are doubles.
+class JsonReport {
+ public:
+  JsonReport(std::string bench_name, int argc, char** argv)
+      : bench_name_(std::move(bench_name)) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        path_ = "BENCH_" + bench_name_ + ".json";
+      } else if (arg.rfind("--json=", 0) == 0) {
+        path_ = arg.substr(7);
+        if (path_.empty()) {
+          std::cerr << bench_name_ << ": --json= needs a path\n";
+          std::exit(2);
+        }
+      } else {
+        std::cerr << bench_name_ << ": unknown flag " << arg
+                  << " (only --json[=path] is supported; scale knobs are "
+                     "CTS_* environment variables)\n";
+        std::exit(2);
+      }
+    }
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& key, double value) { metrics_[key] = value; }
+
+  // One metric per stage plus the total, prefixed "<algo>/".
+  void add_breakdown(const std::string& prefix, const StageBreakdown& b) {
+    for (const auto& s : b.stages) {
+      if (s.seconds != 0) add(prefix + "/" + s.name + "_s", s.seconds);
+    }
+    add(prefix + "/total_s", b.total());
+  }
+
+  // Writes the file (no-op when --json was not given). Returns true if
+  // a file was written.
+  bool write() const {
+    if (!enabled()) return false;
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << bench_name_ << ": cannot write " << path_ << "\n";
+      std::exit(1);
+    }
+    out << "{\n  \"bench\": \"" << bench_name_ << "\"";
+    for (const auto& [key, value] : metrics_) {
+      out << ",\n  \"" << key << "\": ";
+      // JSON has no Inf/NaN literals.
+      if (std::isfinite(value)) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", value);
+        out << buf;
+      } else {
+        out << "null";
+      }
+    }
+    out << "\n}\n";
+    std::cout << "wrote " << path_ << " (" << metrics_.size()
+              << " metrics)\n";
+    return true;
+  }
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  std::map<std::string, double> metrics_;  // sorted, deterministic
+};
 
 // The paper's workload: 12 GB = 120 M 100-byte records.
 inline constexpr std::uint64_t kPaperRecords = 120'000'000;

@@ -67,7 +67,8 @@ void AddReplayRow(TextTable& table, const std::string& name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("ext_async", argc, argv);
   const int K = 16;
   const SortConfig base = BenchConfig(K, 1, 600'000);
   std::cout << "=== Extension: parallel (asynchronous) shuffling (K=" << K
@@ -86,11 +87,14 @@ int main() {
 
   const struct {
     const char* name;
+    const char* json_key;
     ShuffleSchedule schedule;
   } schedules[] = {
-      {"serial (paper)", ShuffleSchedule::kSerial},
-      {"parallel half-duplex", ShuffleSchedule::kParallelHalfDuplex},
-      {"parallel full-duplex", ShuffleSchedule::kParallelFullDuplex},
+      {"serial (paper)", "serial", ShuffleSchedule::kSerial},
+      {"parallel half-duplex", "parallel_half",
+       ShuffleSchedule::kParallelHalfDuplex},
+      {"parallel full-duplex", "parallel_full",
+       ShuffleSchedule::kParallelFullDuplex},
   };
 
   for (const auto& s : schedules) {
@@ -104,6 +108,10 @@ int main() {
     rows.push_back(std::move(b5));
     BreakdownTable(s.name, rows).render(std::cout);
     std::cout << '\n';
+    const std::string prefix = s.json_key;
+    json.add(prefix + "/terasort_total_s", rows[0].total());
+    json.add(prefix + "/coded_r3_total_s", rows[1].total());
+    json.add(prefix + "/coded_r5_total_s", rows[2].total());
   }
 
   // ---- Measured overlapped execution ----
@@ -215,5 +223,6 @@ int main() {
                "or oversubscribed, exactly the regime the paper evaluates.\n"
                "The overlapped rows show the engine can now realize the\n"
                "parallel schedules the closed forms only assumed.\n";
+  json.write();
   return 0;
 }

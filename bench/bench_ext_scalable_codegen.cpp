@@ -21,10 +21,11 @@
 #include "common/table.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("ext_scalable_codegen", argc, argv);
   const int K = 20;
   const SortConfig base = BenchConfig(K, 1, 600'000);
   std::cout << "=== Extension: batched CodeGen vs per-group comm splits "
@@ -51,6 +52,8 @@ int main() {
     config.codegen_mode = CodeGenMode::kBatched;
     const StageBreakdown batched =
         SimulateRun(RunCodedTeraSort(config), model, scale);
+    json.add("r" + std::to_string(r) + "/split_total_s", split.total());
+    json.add("r" + std::to_string(r) + "/batched_total_s", batched.total());
     table.add_row(
         {std::to_string(r), std::to_string(Binomial(K, r + 1)),
          TextTable::Num(split.stage(stage::kCodeGen)),
@@ -65,5 +68,7 @@ int main() {
                "better than r=3 at K=20 (paper Table III) and lets larger r\n"
                "keep paying off — a concrete answer to the paper's\n"
                "'Scalable Coding' question.\n";
+  json.add("terasort_total_s", baseline.total());
+  json.write();
   return 0;
 }

@@ -13,10 +13,11 @@
 #include "cmr/cmr.h"
 #include "common/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("fig2", argc, argv);
   const int K = 10;
   const int records_per_file =
       static_cast<int>(EnvU64("CTS_CMR_RECORDS", 120));
@@ -43,6 +44,9 @@ int main() {
 
     const double mu = uncoded.measured_payload_load();
     const double mc = coded.measured_payload_load();
+    json.add("r" + std::to_string(r) + "/uncoded_load", mu);
+    json.add("r" + std::to_string(r) + "/coded_load", mc);
+    json.add("r" + std::to_string(r) + "/gain", mc > 0 ? mu / mc : 0.0);
     table.add_row({std::to_string(r), TextTable::Num(UncodedLoad(K, r), 4),
                    TextTable::Num(mu, 4), TextTable::Num(CodedLoad(K, r), 4),
                    TextTable::Num(mc, 4),
@@ -52,5 +56,6 @@ int main() {
   std::cout << "\nCMR reduces the load by exactly r (padding aside): the\n"
                "inversely-linear computation/communication tradeoff of\n"
                "paper eq. (2).\n";
+  json.write();
   return 0;
 }

@@ -16,10 +16,11 @@
 #include "common/table.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("model", argc, argv);
   const SortConfig config = BenchConfig(/*K=*/16, 1, 1'200'000);
   std::cout << "=== Execution-time model analysis (paper Sections II & "
                "III-B) ===\n";
@@ -61,5 +62,10 @@ int main() {
   std::cout << "\nNote: eq. (4) ignores CodeGen and multicast overheads — "
                "the gap\nbetween this promise and Tables II/III is what "
                "the paper's\n'Scalable Coding' future direction is about.\n";
+  json.add("shuffle_over_map", t.shuffle / t.map);
+  json.add("shuffle_share", t.shuffle / t.total());
+  json.add("ideal_r", ideal_r);
+  json.add("promised_speedup", t.total() / PredictOptimalCodedTotal(t));
+  json.write();
   return 0;
 }

@@ -1,0 +1,131 @@
+// Scenario sweep: straggler intensity × core oversubscription × r.
+//
+// The paper evaluates a homogeneous cluster behind a serial shared
+// medium — the regime where Coded TeraSort shines. This bench replays
+// the SAME measured runs (compute records + transmission logs) through
+// the scenario engine (src/simscen) across the two axes that flip the
+// tradeoff:
+//
+//   * a straggling node stretches the redundant r× Map phase and
+//     erodes the coding gain (TeraSort wins under strong stragglers);
+//   * an oversubscribed core starves cross-rack shuffle traffic and
+//     restores it (CodedTeraSort moves ~r× fewer bytes through the
+//     core and wins when it is scarce).
+//
+// The network is a parallel full-duplex fabric with per-sender
+// initiation (the asynchronous setting of paper Section VI), 2 nodes
+// per rack. Totals are paper-scale seconds; `--json` records every
+// cell for the perf trajectory.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analytics/report.h"
+#include "bench/bench_common.h"
+#include "codedterasort/coded_terasort.h"
+#include "common/table.h"
+#include "simscen/engine.h"
+#include "terasort/terasort.h"
+
+namespace {
+
+using namespace cts;
+using namespace cts::bench;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReport json("scenarios", argc, argv);
+  const int K = 8;
+  const int kNodesPerRack = 2;
+  const SortConfig base = BenchConfig(K, 1, 120'000);
+  std::cout << "=== Scenario sweep: straggler x oversubscription x r (K="
+            << K << ", " << kNodesPerRack << " nodes/rack) ===\n";
+  PrintRunBanner(base);
+
+  const CostModel model;
+  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
+
+  // One execution per algorithm; every scenario below is a replay.
+  struct Algo {
+    std::string key;
+    AlgorithmResult result;
+  };
+  std::vector<Algo> algos;
+  algos.push_back({"terasort", RunTeraSort(base)});
+  for (const int r : {3, 5}) {
+    SortConfig config = base;
+    config.redundancy = r;
+    algos.push_back({"coded_r" + std::to_string(r),
+                     RunCodedTeraSort(config)});
+  }
+  std::vector<simscen::ScenarioRun> runs;
+  for (const auto& a : algos) {
+    runs.push_back(simscen::BuildScenarioRun(a.result, model, scale));
+  }
+
+  TextTable table(
+      "paper-scale makespan (s): parallel full-duplex fabric, "
+      "per-sender initiation");
+  table.set_header({"slowdown", "oversub", "TeraSort", "Coded r=3",
+                    "Coded r=5", "winner"});
+
+  int terasort_wins = 0;
+  int coded_wins = 0;
+  for (const double slowdown : {1.0, 2.0, 4.0, 8.0}) {
+    for (const double oversub : {0.0, 4.0, 16.0, 64.0}) {  // 0 = no racks
+      simscen::Scenario scenario;
+      scenario.cluster = simscen::ClusterProfile::Homogeneous(K);
+      if (slowdown > 1.0) {
+        scenario.cluster.straggler.kind = simscen::StragglerKind::kSlowNode;
+        scenario.cluster.straggler.node = 0;
+        scenario.cluster.straggler.slowdown = slowdown;
+      }
+      scenario.topology =
+          oversub > 0.0
+              ? simscen::Topology::Oversubscribed(K, kNodesPerRack, oversub)
+              : simscen::Topology::SingleRack(K);
+      scenario.discipline = simnet::Discipline::kParallelFullDuplex;
+      scenario.order = simnet::ReplayOrder::kPerSender;
+
+      const std::string cell = "slow" + TextTable::Num(slowdown, 0) +
+                               "_over" + TextTable::Num(oversub, 0);
+      std::vector<double> totals;
+      std::size_t best = 0;
+      for (std::size_t i = 0; i < runs.size(); ++i) {
+        const double t =
+            simscen::ReplayScenario(runs[i], scenario).makespan;
+        totals.push_back(t);
+        json.add(cell + "/" + algos[i].key + "_total_s", t);
+        if (t < totals[best]) best = i;
+      }
+      if (best == 0) {
+        ++terasort_wins;
+      } else {
+        ++coded_wins;
+      }
+      json.add(cell + "/coded_wins", best == 0 ? 0.0 : 1.0);
+      table.add_row({TextTable::Num(slowdown, 0), TextTable::Num(oversub, 0),
+                     TextTable::Num(totals[0]), TextTable::Num(totals[1]),
+                     TextTable::Num(totals[2]),
+                     best == 0 ? "TeraSort" : "Coded r=" +
+                         std::string(best == 1 ? "3" : "5")});
+    }
+  }
+  table.render(std::cout);
+
+  json.add("regimes/terasort_wins", terasort_wins);
+  json.add("regimes/coded_wins", coded_wins);
+  std::cout << "\nregimes won — TeraSort: " << terasort_wins
+            << ", CodedTeraSort: " << coded_wins << "\n";
+  std::cout
+      << "On the fast fabric the r× Map (plus a straggler stretching it\n"
+         "r× further) hands the win to TeraSort; once the core is\n"
+         "oversubscribed the coded shuffle's ~r×-smaller cross-rack\n"
+         "footprint dominates and Coded TeraSort takes it back —\n"
+         "the paper's tradeoff, now priced per scenario.\n";
+  CTS_CHECK_GT(terasort_wins, 0);
+  CTS_CHECK_GT(coded_wins, 0);
+  json.write();
+  return 0;
+}

@@ -12,10 +12,11 @@
 #include "common/table.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("sweep_k", argc, argv);
   const int r = 3;
   std::cout << "=== Sweep: speedup vs cluster size K (r=" << r << ") ===\n\n";
 
@@ -37,6 +38,9 @@ int main() {
     const double speedup = baseline.total() / b.total();
     if (speedup > prev_speedup) monotone = false;
     prev_speedup = speedup;
+    json.add("K" + std::to_string(K) + "/terasort_total_s", baseline.total());
+    json.add("K" + std::to_string(K) + "/coded_total_s", b.total());
+    json.add("K" + std::to_string(K) + "/speedup", speedup);
     table.add_row({std::to_string(K), std::to_string(Binomial(K, r + 1)),
                    TextTable::Num(baseline.total()), TextTable::Num(b.total()),
                    TextTable::Num(b.stage(stage::kCodeGen)),
@@ -47,5 +51,6 @@ int main() {
             << (monotone ? " (monotone, as the paper reports)" : "")
             << ": CodeGen grows as C(K, r+1) and the locally available\n"
                "fraction r/K of the data shrinks.\n";
+  json.write();
   return 0;
 }

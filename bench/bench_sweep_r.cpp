@@ -14,10 +14,11 @@
 #include "common/table.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("sweep_r", argc, argv);
   const int K = 20;
   const SortConfig base = BenchConfig(K, 1, 400'000);
   std::cout << "=== Sweep: speedup vs redundancy r (K=" << K << ") ===\n";
@@ -44,6 +45,8 @@ int main() {
       best_speedup = speedup;
       best_r = r;
     }
+    json.add("r" + std::to_string(r) + "/coded_total_s", b.total());
+    json.add("r" + std::to_string(r) + "/speedup", speedup);
     table.add_row({std::to_string(r),
                    std::to_string(Binomial(K, r + 1)),
                    TextTable::Num(b.stage(stage::kCodeGen)),
@@ -55,5 +58,9 @@ int main() {
   std::cout << "\nbest r = " << best_r << " at " << TextTable::Num(best_speedup, 2)
             << "x; speedup rises while coded shuffle shrinks, then falls "
                "as CodeGen's C(K, r+1) growth takes over.\n";
+  json.add("terasort_total_s", baseline.total());
+  json.add("best_r", best_r);
+  json.add("best_speedup", best_speedup);
+  json.write();
   return 0;
 }

@@ -13,10 +13,11 @@
 #include "bench/bench_common.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("table1", argc, argv);
   const SortConfig config = BenchConfig(/*K=*/16, /*r=*/1, 1'200'000);
   std::cout << "=== Table I: TeraSort, 12 GB, K=16, 100 Mbps ===\n";
   PrintRunBanner(config);
@@ -39,5 +40,9 @@ int main() {
             << TextTable::Num(repro.shuffle() / repro.stage(stage::kMap), 1)
             << "x (paper: 508.5x)\n\n";
   PrintComparison(paper, {repro});
+
+  json.add_breakdown("terasort", repro);
+  json.add("terasort/shuffle_share", shuffle_share);
+  json.write();
   return 0;
 }

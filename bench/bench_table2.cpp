@@ -9,10 +9,11 @@
 #include "codedterasort/coded_terasort.h"
 #include "terasort/terasort.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cts;
   using namespace cts::bench;
 
+  JsonReport json("table2", argc, argv);
   const int K = 16;
   const SortConfig base = BenchConfig(K, /*r=*/1, 1'200'000);
   std::cout << "=== Table II: 12 GB, K=16, 100 Mbps ===\n";
@@ -39,6 +40,13 @@ int main() {
   }
   BreakdownTable("reproduced", repro).render(std::cout);
   PrintComparison(paper, repro);
+
+  json.add_breakdown("terasort", repro[0]);
+  json.add_breakdown("coded_r3", repro[1]);
+  json.add_breakdown("coded_r5", repro[2]);
+  json.add("coded_r3/speedup", repro[0].total() / repro[1].total());
+  json.add("coded_r5/speedup", repro[0].total() / repro[2].total());
+  json.write();
 
   // Optional repeated trials (CTS_TRIALS > 1), mimicking the paper's
   // 5-run averaging. The only randomness here is the workload seed.

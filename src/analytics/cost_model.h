@@ -42,19 +42,23 @@ struct RunScale {
 
 struct CostModel {
   // ---- Network ----
+  // The three link constants live in common/units.h so the closed
+  // forms here and the simnet/simscen replay engines share one
+  // calibration.
+  //
   // 100 Mbps tc-limited NICs (paper Section V-B).
-  double link_bytes_per_sec = 100 * kMbps;
+  double link_bytes_per_sec = kPaperLinkBytesPerSec;
   // Effective TCP goodput fraction. Calibration: Table I shuffle moves
   // 16 nodes x 750 MB x 15/16 = 11.25 GB serially in 945.72 s
   // => 11.90 MB/s on a 12.5 MB/s link => 0.95.
-  double link_efficiency = 0.95;
+  double link_efficiency = kTcpEfficiency;
   // MPI_Bcast fan-out penalty: multicasting to r receivers costs
   // (1 + coeff*log2(r)) x the unicast time of the same bytes (paper
   // Section V-C observation 2, citing [11]'s logarithmic growth).
   // Calibration: Table II r=3 coded shuffle = 412.22 s vs 274.5 s of
   // pure serial transmission => 1.50 => coeff 0.32 (r=5 gives 0.32 as
   // well within a few percent, see EXPERIMENTS.md).
-  double multicast_log_coeff = 0.32;
+  double multicast_log_coeff = kMulticastLogCoeff;
 
   // ---- CodeGen ----
   // Per-multicast-group MPI_Comm_split cost. Calibration: Table II

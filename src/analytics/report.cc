@@ -51,26 +51,9 @@ RunScale PaperScale(std::uint64_t executed_records,
                   static_cast<double>(reported_records)};
 }
 
-namespace {
-
-// Parallel-schedule shuffle pricing: every node's link runs
-// concurrently, so the stage ends when the busiest link drains.
-// `correction` maps raw measured bytes to paper-scale bytes (it folds
-// in the data scaling and the header/padding adjustment computed for
-// the serial path); `penalty` is the multicast fan-out factor applied
-// to transmissions only (receivers get plain copies).
-// Multicast fan-out penalty and the correction factor mapping raw
-// measured shuffle bytes to paper-scale bytes. For multicast runs the
-// correction folds in the header/padding adjustment: packet count is
-// combinatorial in (K, r), so header bytes and the zero-padding
-// residue (an artifact of per-value size *variance*, which shrinks as
-// 1/sqrt(records-per-value)) are charged unscaled — at paper scale
-// both are <1%.
-struct ShuffleScaling {
-  double penalty = 1.0;     // multicast fan-out factor (tx side only)
-  double correction = 1.0;  // measured bytes -> paper-scale bytes
-};
-
+// Declared in report.h; the header/padding rationale is documented
+// there. The zero-padding residue is an artifact of per-value size
+// *variance*, which shrinks as 1/sqrt(records-per-value).
 ShuffleScaling ComputeShuffleScaling(const AlgorithmResult& result,
                                      const CostModel& model,
                                      const RunScale& scale) {
@@ -100,6 +83,13 @@ ShuffleScaling ComputeShuffleScaling(const AlgorithmResult& result,
   return s;
 }
 
+namespace {
+
+// Parallel-schedule shuffle pricing: every node's link runs
+// concurrently, so the stage ends when the busiest link drains.
+// `correction` maps raw measured bytes to paper-scale bytes; `penalty`
+// is the multicast fan-out factor applied to transmissions only
+// (receivers get plain copies).
 double ParallelShuffleSeconds(const AlgorithmResult& result,
                               const CostModel& model, double correction,
                               double penalty, bool full_duplex) {

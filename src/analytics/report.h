@@ -47,6 +47,23 @@ struct StageBreakdown {
 RunScale PaperScale(std::uint64_t executed_records,
                     std::uint64_t reported_records);
 
+// Multicast fan-out penalty and the correction factor mapping raw
+// measured shuffle bytes (or replayed shuffle seconds — time is linear
+// in bytes for a fixed schedule shape) to paper scale. For multicast
+// runs the correction folds in the header/padding adjustment: packet
+// count is combinatorial in (K, r), so header bytes and the
+// zero-padding residue are charged unscaled — at paper scale both are
+// <1%. Shared by the closed forms, ReplayShuffleSeconds, and the
+// scenario engine (src/simscen).
+struct ShuffleScaling {
+  double penalty = 1.0;     // multicast fan-out factor (tx side only)
+  double correction = 1.0;  // measured bytes -> paper-scale bytes
+};
+
+ShuffleScaling ComputeShuffleScaling(const AlgorithmResult& result,
+                                     const CostModel& model,
+                                     const RunScale& scale);
+
 // How the shuffle stage uses the network (paper Section VI, third
 // future direction — "Asynchronous Execution"):
 //   kSerial           — the paper's discipline: one sender at a time on

@@ -96,6 +96,13 @@ struct CmrResult {
   // discrete-event replay by simnet::ReplayMakespan.
   simnet::TransmissionLog shuffle_log;
 
+  // Stage names in execution order and per-node stage boundaries at
+  // executed scale; the scenario engine replays these (CMR has no
+  // NodeWork counters, so its compute phases are priced from the
+  // measured boundaries).
+  std::vector<std::string> stage_order;
+  ComputeLog compute_events;
+
   // Measured communication load on the wire (includes packet framing):
   // transmitted bytes / total IV bytes (the paper's L).
   double measured_load() const;

@@ -200,6 +200,8 @@ AlgorithmResult RunCodedTeraSort(const SortConfig& config) {
   result.partitions = recorder.take_partitions();
   result.work = recorder.work();
   result.wall_seconds = recorder.wall_max();
+  result.stage_order = recorder.stage_order();
+  result.compute_events = recorder.compute_events();
   for (const auto& name : world.stats().stage_names()) {
     result.traffic[name] = world.stats().stage(name);
   }

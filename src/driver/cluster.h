@@ -8,9 +8,11 @@
 // only communicate through simmpi.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,35 @@ class RunRecorder {
     per_node.resize(std::max(per_node.size(),
                              static_cast<std::size_t>(node) + 1));
     per_node[static_cast<std::size_t>(node)] = seconds;
+  }
+
+  // Records one stage boundary on one node ([start, end) on the node's
+  // local run clock). The first node to enter a stage also fixes the
+  // stage's position in stage_order() — stages are barrier-delimited,
+  // so every node sees the same sequence.
+  void record_event(const std::string& stage, NodeId node, double start,
+                    double end) {
+    std::lock_guard lock(mu_);
+    if (seen_stages_.insert(stage).second) stage_order_.push_back(stage);
+    events_.push_back(ComputeEvent{stage, node, start, end});
+  }
+
+  // Stage names in first-execution order.
+  std::vector<std::string> stage_order() const {
+    std::lock_guard lock(mu_);
+    return stage_order_;
+  }
+
+  // All recorded events, ordered by (node, start).
+  ComputeLog compute_events() const {
+    std::lock_guard lock(mu_);
+    ComputeLog log = events_;
+    std::sort(log.begin(), log.end(),
+              [](const ComputeEvent& a, const ComputeEvent& b) {
+                return a.node != b.node ? a.node < b.node
+                                        : a.start_seconds < b.start_seconds;
+              });
+    return log;
   }
 
   void set_partition(NodeId node, std::vector<Record> records) {
@@ -74,6 +105,9 @@ class RunRecorder {
   std::map<std::string, std::vector<double>> wall_;
   std::vector<std::vector<Record>> partitions_;
   std::vector<NodeWork> work_;
+  std::set<std::string> seen_stages_;
+  std::vector<std::string> stage_order_;
+  ComputeLog events_;
 };
 
 // Runs `program(comm, recorder)` on one thread per node of a fresh
@@ -100,15 +134,21 @@ class StageRunner {
     comm_.barrier();  // previous stage fully drained
     if (comm_.rank() == 0) world_.stats().set_stage(name);
     comm_.barrier();  // label visible before any traffic
+    const double start = run_clock_.elapsed();
     Stopwatch watch;
     body();
-    recorder_.record_wall(name, comm_.my_global(), watch.elapsed());
+    const double seconds = watch.elapsed();
+    recorder_.record_wall(name, comm_.my_global(), seconds);
+    recorder_.record_event(name, comm_.my_global(), start, start + seconds);
   }
 
  private:
   simmpi::World& world_;
   simmpi::Comm& comm_;
   RunRecorder& recorder_;
+  // Node-local run clock anchoring ComputeEvent boundaries; starts
+  // when the node program constructs its StageRunner.
+  Stopwatch run_clock_;
 };
 
 }  // namespace cts

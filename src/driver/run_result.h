@@ -106,6 +106,25 @@ struct NodeWork {
   }
 };
 
+// One stage executed on one node, at executed scale, on the node's
+// local clock (seconds since its program entered its first stage).
+// StageRunner records one event per stage body per node, in per-node
+// program order; the scenario engine (src/simscen) consumes the stage
+// sequence to replay a run under a ClusterProfile/Topology, and the
+// boundaries give CMR-style runs (which have no NodeWork counters)
+// per-node compute durations.
+struct ComputeEvent {
+  std::string stage;
+  NodeId node = 0;
+  double start_seconds = 0;
+  double end_seconds = 0;
+
+  double seconds() const { return end_seconds - start_seconds; }
+};
+
+// All compute events of one run, ordered by (node, start).
+using ComputeLog = std::vector<ComputeEvent>;
+
 // Everything one run produces.
 struct AlgorithmResult {
   SortConfig config;
@@ -133,6 +152,14 @@ struct AlgorithmResult {
   // Per-stage wall seconds: max over nodes of that node's stage time
   // (the stage completes when its slowest node does).
   std::map<std::string, double> wall_seconds;
+
+  // Stage names in first-execution order (each once). Unlike the maps
+  // above, this preserves the sequence the node programs ran, which
+  // the scenario engine replays stage-by-stage.
+  std::vector<std::string> stage_order;
+
+  // Per-node stage boundaries at executed scale (see ComputeEvent).
+  ComputeLog compute_events;
 
   std::uint64_t total_output_records() const {
     std::uint64_t n = 0;

@@ -18,14 +18,16 @@
 
 #include <cstdint>
 
+#include "common/units.h"
 #include "simnet/transmission_log.h"
 
 namespace cts::simnet {
 
 struct LinkModel {
-  double bytes_per_sec = 12.5e6 * 0.95;  // 100 Mbps at TCP efficiency
+  // 100 Mbps at TCP efficiency (shared constants: common/units.h).
+  double bytes_per_sec = kPaperLinkBytesPerSec * kTcpEfficiency;
   // Sender-side penalty factor for multicasting to `fanout` receivers.
-  double multicast_log_coeff = 0.32;
+  double multicast_log_coeff = kMulticastLogCoeff;
 
   double tx_seconds(const Transmission& t) const;
   double rx_seconds(const Transmission& t) const;

@@ -1,0 +1,214 @@
+#include "simscen/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace cts::simscen {
+
+namespace {
+
+// Completion time of `dur` seconds of work started at `start` on a
+// node that is offline during [fail_at, fail_at + recovery): work in
+// flight suspends and resumes after the outage.
+double EndWithOutage(double start, double dur, double fail_at,
+                     double recovery) {
+  const double end = start + dur;
+  if (recovery <= 0) return end;
+  if (end <= fail_at) return end;                   // finished before
+  if (start >= fail_at + recovery) return end;      // started after
+  if (start >= fail_at) return fail_at + recovery + dur;  // began offline
+  return end + recovery;                            // crossed the outage
+}
+
+std::vector<double> PerNode(const AlgorithmResult& result,
+                            double (CostModel::*price)(const NodeWork&,
+                                                       const RunScale&)
+                                const,
+                            const CostModel& model, const RunScale& scale) {
+  std::vector<double> out;
+  out.reserve(result.work.size());
+  for (const auto& w : result.work) out.push_back((model.*price)(w, scale));
+  return out;
+}
+
+}  // namespace
+
+StageBreakdown ScenarioOutcome::breakdown() const {
+  StageBreakdown b;
+  b.algorithm = algorithm;
+  for (const auto& span : spans) b.stages.push_back({span.name, span.seconds()});
+  return b;
+}
+
+ScenarioRun BuildScenarioRun(const AlgorithmResult& result,
+                             const CostModel& model, const RunScale& scale) {
+  ScenarioRun run;
+  run.algorithm = result.algorithm;
+  run.num_nodes = result.config.num_nodes;
+  run.shuffle_log = result.shuffle_log;
+  run.shuffle_correction = ComputeShuffleScaling(result, model, scale).correction;
+
+  // Engines populate stage_order; results built by hand (tests) fall
+  // back to the canonical sequence, skipping stages with no work.
+  std::vector<std::string> order = result.stage_order;
+  if (order.empty()) {
+    order = {stage::kCodeGen, stage::kMap,    stage::kPack,
+             stage::kEncode,  stage::kShuffle, stage::kUnpack,
+             stage::kDecode,  stage::kReduce};
+  }
+
+  const int r = std::max(result.config.redundancy, 1);
+  for (const std::string& name : order) {
+    ScenarioRun::Stage st;
+    st.name = name;
+    if (name == stage::kShuffle) {
+      st.kind = StageKind::kNetwork;
+    } else if (name == stage::kCodeGen) {
+      st.kind = StageKind::kCollective;
+      const auto it = result.traffic.find(stage::kCodeGen);
+      const double sec =
+          it == result.traffic.end()
+              ? 0.0
+              : model.codegen_seconds(it->second.comm_creations,
+                                      result.config.codegen_mode);
+      st.node_seconds.assign(static_cast<std::size_t>(run.num_nodes), sec);
+    } else {
+      st.kind = StageKind::kCompute;
+      if (name == stage::kMap) {
+        st.node_seconds = PerNode(result, &CostModel::map_seconds, model, scale);
+      } else if (name == stage::kPack) {
+        st.node_seconds = PerNode(result, &CostModel::pack_seconds, model, scale);
+      } else if (name == stage::kEncode) {
+        st.node_seconds =
+            PerNode(result, &CostModel::encode_seconds, model, scale);
+      } else if (name == stage::kUnpack) {
+        st.node_seconds =
+            PerNode(result, &CostModel::unpack_seconds, model, scale);
+      } else if (name == stage::kDecode) {
+        st.node_seconds =
+            PerNode(result, &CostModel::decode_seconds, model, scale);
+      } else if (name == stage::kReduce) {
+        st.node_seconds.reserve(result.work.size());
+        for (const auto& w : result.work) {
+          st.node_seconds.push_back(model.reduce_seconds(w, scale, r));
+        }
+      }
+      // Unknown stage names replay as zero-cost barriers.
+    }
+    run.stages.push_back(std::move(st));
+  }
+  return run;
+}
+
+ScenarioRun BuildScenarioRunFromEvents(
+    const std::string& algorithm, int num_nodes,
+    const std::vector<std::string>& stage_order, const ComputeLog& events,
+    simnet::TransmissionLog shuffle_log) {
+  CTS_CHECK_GE(num_nodes, 1);
+  ScenarioRun run;
+  run.algorithm = algorithm;
+  run.num_nodes = num_nodes;
+  run.shuffle_log = std::move(shuffle_log);
+
+  std::map<std::string, std::vector<double>> per_stage;
+  for (const auto& e : events) {
+    auto& v = per_stage[e.stage];
+    v.resize(static_cast<std::size_t>(num_nodes), 0.0);
+    CTS_CHECK_GE(e.node, 0);
+    CTS_CHECK_LT(e.node, num_nodes);
+    // A node may enter a stage several times; durations accumulate.
+    v[static_cast<std::size_t>(e.node)] += e.seconds();
+  }
+
+  for (const std::string& name : stage_order) {
+    ScenarioRun::Stage st;
+    st.name = name;
+    st.kind = name == stage::kShuffle ? StageKind::kNetwork
+                                      : StageKind::kCompute;
+    const auto it = per_stage.find(name);
+    if (it != per_stage.end()) st.node_seconds = it->second;
+    run.stages.push_back(std::move(st));
+  }
+  return run;
+}
+
+ScenarioOutcome ReplayScenario(const ScenarioRun& run,
+                               const Scenario& scenario) {
+  CTS_CHECK_GE(run.num_nodes, 1);
+  CTS_CHECK_EQ(scenario.topology.num_nodes, run.num_nodes);
+  const StragglerModel& strag = scenario.cluster.straggler;
+  const bool fail_stop = strag.kind == StragglerKind::kFailStop;
+
+  ScenarioOutcome out;
+  out.algorithm = run.algorithm;
+  double now = 0;
+  int stage_index = 0;
+  for (const auto& st : run.stages) {
+    StageSpan span;
+    span.name = st.name;
+    span.start = now;
+    span.node_end.assign(static_cast<std::size_t>(run.num_nodes), now);
+
+    if (st.kind == StageKind::kNetwork) {
+      // The shuffle is barrier-delimited: every flow becomes eligible
+      // at the stage start, so the stage contributes one replayed
+      // makespan. A pipelined stage (CMR's overlapped Map+Shuffle)
+      // also carries per-node compute that runs concurrently with the
+      // transfers: the stage ends when both the network and the
+      // slowest (possibly straggling) node are done. Sorting runs
+      // leave node_seconds empty here, so the degenerate replay is a
+      // pure NetMakespan.
+      const double net = NetMakespan(run.shuffle_log, scenario.topology,
+                                     scenario.discipline, scenario.order) *
+                         run.shuffle_correction;
+      double stage_end = now + net;
+      for (int n = 0; n < run.num_nodes; ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        const double base =
+            ni < st.node_seconds.size() ? st.node_seconds[ni] : 0.0;
+        const double dur =
+            scenario.cluster.compute_seconds(n, stage_index, base);
+        double end = now + dur;
+        if (fail_stop && n == strag.node) {
+          end = EndWithOutage(now, dur, strag.fail_at, strag.recovery);
+        }
+        span.node_end[ni] = std::max(now + net, end);
+        stage_end = std::max(stage_end, end);
+      }
+      span.end = stage_end;
+    } else {
+      double stage_end = now;
+      for (int n = 0; n < run.num_nodes; ++n) {
+        const std::size_t ni = static_cast<std::size_t>(n);
+        double base =
+            ni < st.node_seconds.size() ? st.node_seconds[ni] : 0.0;
+        double dur = base;
+        if (st.kind == StageKind::kCompute) {
+          dur = scenario.cluster.compute_seconds(n, stage_index, base);
+        }
+        double end = now + dur;
+        if (fail_stop && n == strag.node) {
+          end = EndWithOutage(now, dur, strag.fail_at, strag.recovery);
+        }
+        span.node_end[ni] = end;
+        stage_end = std::max(stage_end, end);
+      }
+      span.end = stage_end;
+    }
+    now = span.end;
+    out.spans.push_back(std::move(span));
+    ++stage_index;
+  }
+  out.makespan = now;
+  return out;
+}
+
+ScenarioOutcome ReplayScenario(const AlgorithmResult& result,
+                               const CostModel& model, const RunScale& scale,
+                               const Scenario& scenario) {
+  return ReplayScenario(BuildScenarioRun(result, model, scale), scenario);
+}
+
+}  // namespace cts::simscen

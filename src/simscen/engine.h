@@ -1,0 +1,117 @@
+// Full-run discrete-event scenario replay.
+//
+// The engine replays one measured run — the per-stage compute records
+// the engines emit (driver/run_result.h) plus the shuffle's
+// simnet::TransmissionLog — under a Scenario: a ClusterProfile
+// (heterogeneous speeds, stragglers) and a Topology (racks, access
+// links, oversubscribed core). Stages execute barrier-synchronously,
+// exactly as the node programs do: a stage starts when the previous
+// one has finished on every node, compute stages end when the slowest
+// (possibly straggling) node does, and the shuffle stage is priced by
+// the topology-aware flow replay (simscen/netsim.h).
+//
+// On a homogeneous single-rack profile with no contention the replay
+// degenerates to the analytics closed forms and to
+// simnet::ReplayMakespan (tests/simscen_test.cc asserts 1e-9 relative
+// agreement), so scenario sweeps and the paper tables share one
+// pricing pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analytics/report.h"
+#include "driver/run_result.h"
+#include "simnet/schedule.h"
+#include "simscen/netsim.h"
+#include "simscen/scenario.h"
+
+namespace cts::simscen {
+
+// One scenario: who runs it and what network carries it.
+struct Scenario {
+  ClusterProfile cluster;
+  Topology topology;
+  simnet::Discipline discipline = simnet::Discipline::kSerial;
+  simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder;
+};
+
+// How a replayed stage reacts to the scenario.
+enum class StageKind {
+  kCompute,     // per-node seconds; speed multipliers, stragglers and
+                // fail-stop outages apply
+  kCollective,  // latency-bound collective (CodeGen): the same on
+                // every node, unaffected by compute speed
+  kNetwork,     // priced by the transmission-log flow replay
+};
+
+// Scenario-agnostic description of one run, built from an
+// AlgorithmResult (cost-model priced, paper scale) or from measured
+// ComputeEvents (CMR runs, executed scale).
+struct ScenarioRun {
+  struct Stage {
+    std::string name;
+    StageKind kind = StageKind::kCompute;
+    // Baseline seconds per node; empty means zero. kCollective stages
+    // carry one identical value per node.
+    std::vector<double> node_seconds;
+  };
+
+  std::string algorithm;
+  int num_nodes = 0;
+  std::vector<Stage> stages;  // in execution order
+  simnet::TransmissionLog shuffle_log;
+  // Maps replayed shuffle seconds to reported scale (the analytics
+  // ShuffleScaling correction; 1.0 for as-executed replays).
+  double shuffle_correction = 1.0;
+};
+
+// One stage's placement on the scenario timeline.
+struct StageSpan {
+  std::string name;
+  double start = 0;
+  double end = 0;                // max over nodes (barrier)
+  std::vector<double> node_end;  // per-node completion times
+
+  double seconds() const { return end - start; }
+};
+
+struct ScenarioOutcome {
+  std::string algorithm;
+  std::vector<StageSpan> spans;
+  double makespan = 0;
+
+  // Table-1-style row for analytics::BreakdownTable.
+  StageBreakdown breakdown() const;
+};
+
+// Builds a paper-scale ScenarioRun from a sorting run: compute stages
+// priced per node by the calibrated CostModel, CodeGen as a
+// collective, Shuffle from the transmission log with the analytics
+// scaling correction.
+ScenarioRun BuildScenarioRun(const AlgorithmResult& result,
+                             const CostModel& model, const RunScale& scale);
+
+// Builds an executed-scale ScenarioRun from measured stage boundaries
+// (any engine that records ComputeEvents — e.g. CMR, which has no
+// NodeWork counters). The stage named "Shuffle" is replayed from
+// `shuffle_log` AND carries its measured per-node durations: a
+// pipelined stage (CMR's overlapped Map+Shuffle) ends when both the
+// network and the slowest node's compute are done, so a straggler
+// stretches it even though it is network-priced. Every other stage
+// replays its measured per-node durations.
+ScenarioRun BuildScenarioRunFromEvents(
+    const std::string& algorithm, int num_nodes,
+    const std::vector<std::string>& stage_order, const ComputeLog& events,
+    simnet::TransmissionLog shuffle_log);
+
+// Replays `run` under `scenario`.
+ScenarioOutcome ReplayScenario(const ScenarioRun& run,
+                               const Scenario& scenario);
+
+// Convenience: build + replay a sorting run at paper scale.
+ScenarioOutcome ReplayScenario(const AlgorithmResult& result,
+                               const CostModel& model, const RunScale& scale,
+                               const Scenario& scenario);
+
+}  // namespace cts::simscen

@@ -1,0 +1,337 @@
+#include "simscen/netsim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cts::simscen {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Matches simnet::LinkModel::tx_seconds' penalty exactly (same
+// floating-point expression) so the degenerate replay is bit-stable.
+double MulticastPenalty(const simnet::Transmission& t, double coeff) {
+  const double fanout = static_cast<double>(t.dsts.size());
+  return fanout > 1.0 ? 1.0 + coeff * std::log2(fanout) : 1.0;
+}
+
+// One transmission in flight. The flow streams `stream_total` bytes
+// from the sender's uplink; each receiver's downlink is released once
+// `payload` bytes have flowed, the uplink (and core share) when the
+// whole stream has.
+struct Flow {
+  const simnet::Transmission* t = nullptr;
+  double payload = 0;       // bytes each receiver must see
+  double stream_total = 0;  // payload * multicast penalty (sender side)
+  bool crossing = false;    // traverses the core
+
+  int up_res = -1;
+  std::vector<int> down_res;  // deduplicated
+
+  bool admitted = false;
+  bool receivers_released = false;
+  bool done = false;
+
+  // Piecewise-linear progress: sent(t) = seg_sent + rate * (t -
+  // seg_start) while the allocated rate is unchanged. The segment is
+  // only reset when the rate actually changes, so a flow whose rate
+  // never varies completes at admit_time + total/rate in one floating
+  // addition — the same arithmetic simnet uses.
+  double rate = 0;
+  double seg_start = 0;
+  double seg_sent = 0;
+
+  double sent_at(double now) const {
+    return seg_sent + rate * (now - seg_start);
+  }
+  double next_threshold() const {
+    return receivers_released ? stream_total : payload;
+  }
+};
+
+// Exclusive access-link state: FIFO queue of flow indices in log order
+// (kLogOrder) plus a plain occupancy flag (kPerSender).
+struct Resource {
+  std::vector<std::size_t> queue;  // log-order users (kLogOrder)
+  std::size_t head = 0;            // first unreleased user
+  bool occupied = false;           // kPerSender occupancy
+};
+
+class FlowSim {
+ public:
+  FlowSim(const simnet::TransmissionLog& log, const Topology& topo,
+          bool full_duplex, simnet::ReplayOrder order)
+      : log_(log), topo_(topo), full_duplex_(full_duplex), order_(order) {
+    const int n = topo.num_nodes;
+    CTS_CHECK_GE(n, 1);
+    CTS_CHECK_GT(topo.access_bytes_per_sec, 0.0);
+    CTS_CHECK_GT(topo.core_bytes_per_sec, 0.0);
+    resources_.resize(full_duplex ? 2 * static_cast<std::size_t>(n)
+                                  : static_cast<std::size_t>(n));
+
+    flows_.reserve(log.size());
+    for (const auto& t : log) {
+      CTS_CHECK_GE(t.src, 0);
+      CTS_CHECK_LT(t.src, n);
+      Flow f;
+      f.t = &t;
+      f.payload = static_cast<double>(t.bytes);
+      f.stream_total = static_cast<double>(t.bytes) *
+                       MulticastPenalty(t, topo.multicast_log_coeff);
+      f.crossing = topo.crosses_core(t);
+      f.up_res = up_of(t.src);
+      for (const NodeId d : t.dsts) {
+        CTS_CHECK_GE(d, 0);
+        CTS_CHECK_LT(d, n);
+        CTS_CHECK_NE(d, t.src);
+        f.down_res.push_back(down_of(d));
+      }
+      std::sort(f.down_res.begin(), f.down_res.end());
+      f.down_res.erase(std::unique(f.down_res.begin(), f.down_res.end()),
+                       f.down_res.end());
+      flows_.push_back(std::move(f));
+    }
+
+    if (order_ == simnet::ReplayOrder::kLogOrder) {
+      for (std::size_t i = 0; i < flows_.size(); ++i) {
+        for (const int r : touched(flows_[i])) {
+          resources_[static_cast<std::size_t>(r)].queue.push_back(i);
+        }
+      }
+    } else {
+      // Per-sender FIFO in seq order (a sender's seq order is its
+      // program order), mirroring simnet::ParallelPerSenderMakespan.
+      sender_queue_.resize(static_cast<std::size_t>(n));
+      for (std::size_t i = 0; i < flows_.size(); ++i) {
+        sender_queue_[static_cast<std::size_t>(flows_[i].t->src)]
+            .push_back(i);
+      }
+      for (auto& q : sender_queue_) {
+        std::sort(q.begin(), q.end(), [&](std::size_t a, std::size_t b) {
+          return log_[a].seq < log_[b].seq;
+        });
+      }
+      sender_head_.assign(static_cast<std::size_t>(n), 0);
+    }
+  }
+
+  double Run() {
+    double now = 0;
+    double makespan = 0;
+    std::size_t remaining = flows_.size();
+    Admit(now);
+    Reallocate(now);
+    while (remaining > 0) {
+      // Earliest next threshold crossing among active flows.
+      double t_next = kInf;
+      for (const Flow& f : flows_) {
+        if (!f.admitted || f.done) continue;
+        CTS_CHECK_GT(f.rate, 0.0);
+        const double cand =
+            f.seg_start + (f.next_threshold() - f.seg_sent) / f.rate;
+        t_next = std::min(t_next, cand);
+      }
+      CTS_CHECK_LT(t_next, kInf);
+      now = std::max(now, t_next);
+
+      // Process every flow whose candidate equals the event time (ties
+      // come from identical arithmetic and compare equal).
+      for (Flow& f : flows_) {
+        if (!f.admitted || f.done) continue;
+        const double cand =
+            f.seg_start + (f.next_threshold() - f.seg_sent) / f.rate;
+        if (cand > t_next) continue;
+        // Snap progress to the threshold (no drift).
+        f.seg_sent = f.next_threshold();
+        f.seg_start = t_next;
+        if (!f.receivers_released) {
+          f.receivers_released = true;
+          for (const int r : f.down_res) Release(r);
+        }
+        if (f.receivers_released && f.seg_sent >= f.stream_total) {
+          f.done = true;
+          Release(f.up_res);
+          makespan = std::max(makespan, t_next);
+          --remaining;
+        }
+      }
+      Admit(now);
+      Reallocate(now);
+    }
+    return makespan;
+  }
+
+ private:
+  int up_of(NodeId n) const {
+    return full_duplex_ ? 2 * n : n;
+  }
+  int down_of(NodeId n) const {
+    return full_duplex_ ? 2 * n + 1 : n;
+  }
+
+  // All exclusive resources a flow holds at admission.
+  std::vector<int> touched(const Flow& f) const {
+    std::vector<int> rs;
+    rs.push_back(f.up_res);
+    rs.insert(rs.end(), f.down_res.begin(), f.down_res.end());
+    return rs;
+  }
+
+  void Release(int r) {
+    Resource& res = resources_[static_cast<std::size_t>(r)];
+    if (order_ == simnet::ReplayOrder::kLogOrder) {
+      ++res.head;
+    } else {
+      res.occupied = false;
+    }
+  }
+
+  bool Admissible(std::size_t i) const {
+    const Flow& f = flows_[i];
+    for (const int r : touched(f)) {
+      const Resource& res = resources_[static_cast<std::size_t>(r)];
+      if (order_ == simnet::ReplayOrder::kLogOrder) {
+        // Admissible only when this flow is the earliest unreleased
+        // user of every link it needs — per-link FIFO in log order,
+        // which reproduces simnet's list schedule (an earlier log
+        // entry holds or reserves the link until it releases it).
+        if (res.head >= res.queue.size() || res.queue[res.head] != i) {
+          return false;
+        }
+      } else {
+        if (res.occupied) return false;
+      }
+    }
+    return true;
+  }
+
+  void AdmitFlow(std::size_t i, double now) {
+    Flow& f = flows_[i];
+    f.admitted = true;
+    f.seg_start = now;
+    f.seg_sent = 0;
+    f.rate = 0;  // assigned by Reallocate before any event math
+    if (order_ != simnet::ReplayOrder::kLogOrder) {
+      for (const int r : touched(f)) {
+        resources_[static_cast<std::size_t>(r)].occupied = true;
+      }
+    }
+  }
+
+  void Admit(double now) {
+    if (order_ == simnet::ReplayOrder::kLogOrder) {
+      // Admissions cannot enable other admissions (queues pop on
+      // release only), so one pass in log order suffices.
+      for (std::size_t i = 0; i < flows_.size(); ++i) {
+        if (!flows_[i].admitted && Admissible(i)) AdmitFlow(i, now);
+      }
+    } else {
+      // Sender-id order breaks simultaneous ties exactly like the
+      // greedy in simnet::ParallelPerSenderMakespan.
+      for (std::size_t n = 0; n < sender_queue_.size(); ++n) {
+        while (sender_head_[n] < sender_queue_[n].size()) {
+          const std::size_t i = sender_queue_[n][sender_head_[n]];
+          if (!Admissible(i)) break;
+          AdmitFlow(i, now);
+          ++sender_head_[n];
+        }
+      }
+    }
+  }
+
+  // Max-min rates: every flow is capped by the access links it still
+  // holds (exclusive, so the cap is the raw link rate); concurrent
+  // cross-rack flows then share the core by progressive filling. A
+  // flow's segment is reset only if its rate actually changes.
+  void Reallocate(double now) {
+    struct Entry {
+      Flow* f;
+      double cap;
+    };
+    std::vector<Entry> crossing;
+    for (Flow& f : flows_) {
+      if (!f.admitted || f.done) continue;
+      double cap = topo_.access_bytes_per_sec;
+      // Released downlinks no longer constrain the stream tail; the
+      // uplink always does. With a uniform access rate the min is the
+      // access rate either way.
+      if (f.crossing && topo_.core_is_finite()) {
+        crossing.push_back({&f, cap});
+      } else {
+        SetRate(f, cap, now);
+      }
+    }
+    if (crossing.empty()) return;
+    // Progressive filling of the single shared core pipe: repeatedly
+    // grant the lowest-capped flow min(cap, equal share of what
+    // remains).
+    std::sort(crossing.begin(), crossing.end(),
+              [](const Entry& a, const Entry& b) { return a.cap < b.cap; });
+    double remaining = topo_.core_bytes_per_sec;
+    std::size_t left = crossing.size();
+    for (Entry& e : crossing) {
+      const double level = remaining / static_cast<double>(left);
+      const double r = std::min(e.cap, level);
+      SetRate(*e.f, r, now);
+      remaining -= r;
+      --left;
+    }
+  }
+
+  void SetRate(Flow& f, double rate, double now) {
+    CTS_CHECK_GT(rate, 0.0);
+    if (f.rate == rate) return;
+    f.seg_sent = f.sent_at(now);
+    f.seg_start = now;
+    f.rate = rate;
+  }
+
+  const simnet::TransmissionLog& log_;
+  const Topology& topo_;
+  const bool full_duplex_;
+  const simnet::ReplayOrder order_;
+  std::vector<Flow> flows_;
+  std::vector<Resource> resources_;
+  std::vector<std::vector<std::size_t>> sender_queue_;
+  std::vector<std::size_t> sender_head_;
+};
+
+double SerialNetMakespan(const simnet::TransmissionLog& log,
+                         const Topology& topo) {
+  double total = 0;
+  for (const auto& t : log) {
+    double rate = topo.access_bytes_per_sec;
+    if (topo.crosses_core(t)) rate = std::min(rate, topo.core_bytes_per_sec);
+    CTS_CHECK_GT(rate, 0.0);
+    total += static_cast<double>(t.bytes) *
+             MulticastPenalty(t, topo.multicast_log_coeff) / rate;
+  }
+  return total;
+}
+
+}  // namespace
+
+double NetMakespan(const simnet::TransmissionLog& log,
+                   const Topology& topology, simnet::Discipline discipline,
+                   simnet::ReplayOrder order) {
+  CTS_CHECK_GE(topology.num_nodes, 1);
+  if (log.empty()) return 0;
+  switch (discipline) {
+    case simnet::Discipline::kSerial:
+      return SerialNetMakespan(log, topology);
+    case simnet::Discipline::kParallelHalfDuplex:
+    case simnet::Discipline::kParallelFullDuplex: {
+      const bool fd = discipline == simnet::Discipline::kParallelFullDuplex;
+      return FlowSim(log, topology, fd, order).Run();
+    }
+  }
+  CTS_CHECK_MSG(false, "unreachable discipline");
+  return 0;
+}
+
+}  // namespace cts::simscen

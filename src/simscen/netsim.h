@@ -1,0 +1,44 @@
+// Topology-aware discrete-event replay of a transmission log.
+//
+// Generalizes simnet::ReplayMakespan from identical per-node links to
+// a rack Topology with an oversubscribed core:
+//
+//   * Access links are exclusive, as in simnet: a node transmits one
+//     flow and receives one flow at a time (one combined under a
+//     half-duplex discipline). Under ReplayOrder::kLogOrder each link
+//     serves its transmissions in per-link FIFO order of the log —
+//     provably the same schedule simnet's list scheduler produces;
+//     under kPerSender only each sender's program order constrains,
+//     with ties broken by sender id exactly as simnet does.
+//   * The core is a fluid shared resource: all concurrently active
+//     cross-rack flows share its capacity by progressive-filling
+//     max-min (each flow additionally capped by its access links),
+//     recomputed at every flow arrival/departure — the simgrid-style
+//     bandwidth-sharing step.
+//
+// A multicast transmission is a flow whose sender streams
+// bytes × (1 + coeff·log2(fanout)) — the application-layer multicast
+// penalty — while each receiver's downlink is held only until the
+// payload `bytes` have flowed; the sender's uplink (and the core, for
+// cross-rack flows) carries the stream to the end. With an infinite
+// core and the default access rate this reproduces
+// simnet::ReplayMakespan bit-for-bit modulo floating-point event
+// accumulation (tests assert 1e-9 relative agreement).
+#pragma once
+
+#include "simnet/schedule.h"
+#include "simnet/transmission_log.h"
+#include "simscen/scenario.h"
+
+namespace cts::simscen {
+
+// Makespan of `log` replayed on `topology` under a network discipline
+// and initiation order. Discipline::kSerial prices the paper's shared
+// medium: one transmission at a time, each at the minimum rate along
+// its path (access, and core if cross-rack); `order` is ignored there.
+double NetMakespan(const simnet::TransmissionLog& log,
+                   const Topology& topology,
+                   simnet::Discipline discipline,
+                   simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder);
+
+}  // namespace cts::simscen

@@ -1,0 +1,122 @@
+// Scenario descriptions for discrete-event replay of a full run.
+//
+// The paper prices every run on a homogeneous cluster with identical
+// per-node links, yet Coded TeraSort's central tradeoff — pay r× more
+// Map compute to cut Shuffle traffic — flips sign exactly when nodes
+// are heterogeneous, links are oversubscribed, or a straggler
+// stretches the redundant Map phase. A Scenario bundles the two
+// orthogonal knobs the engine (simscen/engine.h) replays a run under:
+//
+//   * ClusterProfile — per-node compute-speed multipliers plus a
+//     pluggable straggler model (deterministic slow node,
+//     shifted-exponential per-stage factors, fail-stop outage);
+//   * Topology — racks with per-node access links and an
+//     oversubscribed core shared max-min among concurrent cross-rack
+//     flows (simscen/netsim.h).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "simnet/transmission_log.h"
+
+namespace cts::simscen {
+
+// How a scenario perturbs per-node compute durations.
+enum class StragglerKind {
+  kNone,
+  // One designated node runs all compute `slowdown`× slower — the
+  // deterministic worst case of a degraded VM.
+  kSlowNode,
+  // Every (node, stage) pair draws an independent multiplicative
+  // factor `shift + Exp(mean)` — the classic shifted-exponential
+  // straggler model of the coded-computation literature. Deterministic
+  // in `seed`.
+  kShiftedExp,
+  // One node halts at absolute scenario time `fail_at` and is offline
+  // for `recovery` seconds; compute in flight on that node during the
+  // outage window is suspended and resumes afterwards. (The outage
+  // applies to compute phases; the barrier-synchronous protocol makes
+  // every later stage on every node wait for it.)
+  kFailStop,
+};
+
+struct StragglerModel {
+  StragglerKind kind = StragglerKind::kNone;
+  NodeId node = 0;        // target of kSlowNode / kFailStop
+  double slowdown = 2.0;  // kSlowNode compute-time multiplier (>= 1)
+  double shift = 1.0;     // kShiftedExp factor = shift + Exp(mean)
+  double mean = 0.5;      // kShiftedExp mean of the exponential part
+  double fail_at = 0.0;   // kFailStop outage start (scenario seconds)
+  double recovery = 0.0;  // kFailStop outage length (seconds)
+  std::uint64_t seed = 2017;  // kShiftedExp determinism
+};
+
+// Per-node compute capability. Baseline durations are divided by the
+// node's speed multiplier, then stretched by the straggler model.
+struct ClusterProfile {
+  // speed[n] = node n's compute-speed multiplier (1.0 = calibrated
+  // testbed node; 0.5 = half speed). Empty means all 1.0.
+  std::vector<double> speed;
+  StragglerModel straggler;
+
+  static ClusterProfile Homogeneous(int num_nodes);
+
+  double speed_of(NodeId node) const;
+
+  // Multiplicative stretch the straggler model applies to node
+  // `node`'s compute in stage `stage_index` (>= its program's first
+  // stage = 0). kFailStop returns 1.0 — the outage is a time window,
+  // applied by the engine, not a rate change.
+  double straggler_factor(NodeId node, int stage_index) const;
+
+  // Baseline compute seconds -> scenario seconds for one (node,
+  // stage), before fail-stop outage accounting.
+  double compute_seconds(NodeId node, int stage_index,
+                         double baseline_seconds) const {
+    return baseline_seconds / speed_of(node) *
+           straggler_factor(node, stage_index);
+  }
+};
+
+// Rack-structured network: every node owns a full-duplex (or, under a
+// half-duplex discipline, shared) access link of `access_bytes_per_sec`
+// into its rack switch; racks interconnect through one core pipe of
+// `core_bytes_per_sec` that every cross-rack flow traverses. An
+// infinite core (the default) makes the fabric non-blocking and the
+// replay degenerates to simnet::ReplayMakespan's per-node-link model.
+struct Topology {
+  int num_nodes = 0;
+  // Nodes per rack; <= 0 or >= num_nodes means a single rack. Rack of
+  // node n is n / nodes_per_rack.
+  int nodes_per_rack = 0;
+  double access_bytes_per_sec = kPaperLinkBytesPerSec * kTcpEfficiency;
+  double core_bytes_per_sec = std::numeric_limits<double>::infinity();
+  // Sender-side penalty coefficient for application-layer multicast,
+  // identical in role to simnet::LinkModel::multicast_log_coeff.
+  double multicast_log_coeff = kMulticastLogCoeff;
+
+  static Topology SingleRack(int num_nodes);
+
+  // `factor`:1 oversubscription: the core pipe carries
+  // num_nodes * access / factor. factor = 1 is a non-blocking fabric
+  // expressed with a finite core; larger factors starve cross-rack
+  // traffic.
+  static Topology Oversubscribed(int num_nodes, int nodes_per_rack,
+                                 double factor);
+
+  int rack_of(NodeId node) const;
+
+  // True if the transmission reaches at least one node outside the
+  // sender's rack (and therefore traverses the core).
+  bool crosses_core(const simnet::Transmission& t) const;
+
+  bool core_is_finite() const {
+    return core_bytes_per_sec < std::numeric_limits<double>::infinity();
+  }
+};
+
+}  // namespace cts::simscen

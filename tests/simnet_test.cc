@@ -83,6 +83,63 @@ TEST(Parallel, NeverBeatsTheLinkBound) {
   }
 }
 
+// ---- Replay edge cases ----
+
+TEST(Replay, EmptyLogIsZeroEverywhere) {
+  for (const Discipline d :
+       {Discipline::kSerial, Discipline::kParallelHalfDuplex,
+        Discipline::kParallelFullDuplex}) {
+    for (const ReplayOrder o : {ReplayOrder::kLogOrder,
+                                ReplayOrder::kPerSender}) {
+      EXPECT_DOUBLE_EQ(ReplayMakespan({}, UnitLink(), 4, d, o), 0.0);
+    }
+  }
+}
+
+TEST(Replay, SingleNodeWorldHasNothingToSend) {
+  // A 1-node world can log no transmissions (src == dst is invalid);
+  // every discipline agrees on an empty makespan.
+  for (const Discipline d :
+       {Discipline::kSerial, Discipline::kParallelHalfDuplex,
+        Discipline::kParallelFullDuplex}) {
+    EXPECT_DOUBLE_EQ(ReplayMakespan({}, UnitLink(), 1, d), 0.0);
+  }
+}
+
+TEST(Replay, MulticastFanoutOnePenaltyVanishes) {
+  LinkModel link;
+  link.bytes_per_sec = 1.0;
+  link.multicast_log_coeff = 10.0;  // huge coeff must not matter
+  const Transmission fanout1{0, {1}, 25};
+  EXPECT_FALSE(fanout1.is_multicast());
+  EXPECT_DOUBLE_EQ(link.tx_seconds(fanout1), 25.0);
+  EXPECT_DOUBLE_EQ(link.tx_seconds(fanout1), link.rx_seconds(fanout1));
+  const TransmissionLog log{fanout1};
+  for (const Discipline d :
+       {Discipline::kSerial, Discipline::kParallelHalfDuplex,
+        Discipline::kParallelFullDuplex}) {
+    EXPECT_DOUBLE_EQ(ReplayMakespan(log, link, 2, d), 25.0);
+  }
+}
+
+TEST(Replay, SingleSenderSerialEqualsParallel) {
+  // All traffic leaves one node: its uplink serializes everything, so
+  // the shared-medium sum and the per-node-link replays coincide,
+  // under both initiation orders.
+  const TransmissionLog log{
+      {0, {1}, 10, 0}, {0, {2}, 20, 1}, {0, {3}, 5, 2}, {0, {1}, 15, 3}};
+  const double serial = ReplayMakespan(log, UnitLink(), 4,
+                                       Discipline::kSerial);
+  EXPECT_DOUBLE_EQ(serial, 50.0);
+  for (const Discipline d : {Discipline::kParallelHalfDuplex,
+                             Discipline::kParallelFullDuplex}) {
+    for (const ReplayOrder o : {ReplayOrder::kLogOrder,
+                                ReplayOrder::kPerSender}) {
+      EXPECT_DOUBLE_EQ(ReplayMakespan(log, UnitLink(), 4, d, o), serial);
+    }
+  }
+}
+
 TEST(Parallel, RejectsOutOfRangeNodes) {
   const TransmissionLog log{{0, {5}, 10}};
   EXPECT_THROW(ParallelMakespan(log, UnitLink(), 3, true), CheckError);

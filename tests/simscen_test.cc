@@ -1,0 +1,485 @@
+// Tests for the scenario engine: topology/cluster-profile semantics,
+// the degenerate-scenario cross-check against simnet::ReplayMakespan
+// (homogeneous single rack, no contention — 1e-9 relative agreement),
+// and straggler / oversubscription behavior.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytics/report.h"
+#include "cmr/cmr.h"
+#include "codedterasort/coded_terasort.h"
+#include "driver/cluster.h"
+#include "simnet/schedule.h"
+#include "simscen/engine.h"
+#include "simscen/netsim.h"
+#include "simscen/scenario.h"
+#include "terasort/terasort.h"
+
+namespace cts::simscen {
+namespace {
+
+using simnet::Discipline;
+using simnet::LinkModel;
+using simnet::ReplayOrder;
+using simnet::Transmission;
+using simnet::TransmissionLog;
+
+// Unit-rate single rack: durations equal byte counts.
+Topology UnitRack(int num_nodes) {
+  Topology t = Topology::SingleRack(num_nodes);
+  t.access_bytes_per_sec = 1.0;
+  t.multicast_log_coeff = 0.0;
+  return t;
+}
+
+constexpr Discipline kAllDisciplines[] = {
+    Discipline::kSerial, Discipline::kParallelHalfDuplex,
+    Discipline::kParallelFullDuplex};
+constexpr ReplayOrder kAllOrders[] = {ReplayOrder::kLogOrder,
+                                      ReplayOrder::kPerSender};
+
+// ---- Topology & ClusterProfile semantics ----
+
+TEST(Topology, RackAssignmentAndCoreCrossing) {
+  Topology t = Topology::Oversubscribed(/*num_nodes=*/6, /*nodes_per_rack=*/2,
+                                        /*factor=*/3.0);
+  EXPECT_EQ(t.rack_of(0), 0);
+  EXPECT_EQ(t.rack_of(1), 0);
+  EXPECT_EQ(t.rack_of(2), 1);
+  EXPECT_EQ(t.rack_of(5), 2);
+  EXPECT_TRUE(t.core_is_finite());
+  EXPECT_DOUBLE_EQ(t.core_bytes_per_sec, 6.0 * t.access_bytes_per_sec / 3.0);
+  EXPECT_FALSE(t.crosses_core(Transmission{0, {1}, 10}));
+  EXPECT_TRUE(t.crosses_core(Transmission{0, {2}, 10}));
+  EXPECT_TRUE(t.crosses_core(Transmission{0, {1, 4}, 10}));  // one remote dst
+}
+
+TEST(Topology, SingleRackNeverCrossesCore) {
+  const Topology t = Topology::SingleRack(4);
+  EXPECT_FALSE(t.core_is_finite());
+  EXPECT_FALSE(t.crosses_core(Transmission{0, {1, 2, 3}, 10}));
+}
+
+TEST(ClusterProfile, SlowNodeStretchesOnlyThatNode) {
+  ClusterProfile p = ClusterProfile::Homogeneous(4);
+  p.straggler.kind = StragglerKind::kSlowNode;
+  p.straggler.node = 2;
+  p.straggler.slowdown = 3.0;
+  EXPECT_DOUBLE_EQ(p.compute_seconds(0, 0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(p.compute_seconds(2, 0, 10.0), 30.0);
+}
+
+TEST(ClusterProfile, SpeedMultipliersDivideDurations) {
+  ClusterProfile p;
+  p.speed = {1.0, 0.5, 2.0};
+  EXPECT_DOUBLE_EQ(p.compute_seconds(1, 0, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(p.compute_seconds(2, 0, 10.0), 5.0);
+}
+
+TEST(ClusterProfile, ShiftedExpIsDeterministicAndAtLeastShift) {
+  ClusterProfile p = ClusterProfile::Homogeneous(4);
+  p.straggler.kind = StragglerKind::kShiftedExp;
+  p.straggler.shift = 1.0;
+  p.straggler.mean = 0.5;
+  p.straggler.seed = 7;
+  double sum = 0;
+  for (int n = 0; n < 4; ++n) {
+    for (int s = 0; s < 3; ++s) {
+      const double f = p.straggler_factor(n, s);
+      EXPECT_GE(f, 1.0);
+      EXPECT_DOUBLE_EQ(f, p.straggler_factor(n, s));  // reproducible
+      sum += f;
+    }
+  }
+  // Distinct (node, stage) pairs draw distinct factors.
+  EXPECT_NE(p.straggler_factor(0, 0), p.straggler_factor(1, 0));
+  EXPECT_NE(p.straggler_factor(0, 0), p.straggler_factor(0, 1));
+  // Mean factor should be near shift + mean (loose, 12 draws).
+  EXPECT_NEAR(sum / 12.0, 1.5, 0.75);
+}
+
+// ---- Degenerate network replay: single rack == simnet ----
+
+void ExpectDegenerateMatch(const TransmissionLog& log, int num_nodes) {
+  const Topology topo = Topology::SingleRack(num_nodes);
+  const LinkModel link;  // defaults — same constants as the topology
+  for (const Discipline d : kAllDisciplines) {
+    for (const ReplayOrder o : kAllOrders) {
+      const double expect = simnet::ReplayMakespan(log, link, num_nodes, d, o);
+      const double got = NetMakespan(log, topo, d, o);
+      EXPECT_NEAR(got, expect, expect * 1e-9)
+          << "discipline=" << static_cast<int>(d)
+          << " order=" << static_cast<int>(o);
+    }
+  }
+}
+
+TEST(NetMakespan, EmptyLogIsZero) {
+  for (const Discipline d : kAllDisciplines) {
+    for (const ReplayOrder o : kAllOrders) {
+      EXPECT_DOUBLE_EQ(NetMakespan({}, UnitRack(3), d, o), 0.0);
+    }
+  }
+}
+
+TEST(NetMakespan, SyntheticUnicastsMatchSimnet) {
+  TransmissionLog log{{0, {1}, 10, 0}, {0, {2}, 20, 1}, {1, {2}, 5, 2},
+                      {2, {0}, 7, 3},  {3, {1}, 9, 4},  {1, {3}, 11, 5}};
+  ExpectDegenerateMatch(log, 4);
+}
+
+TEST(NetMakespan, SyntheticMulticastsMatchSimnet) {
+  TransmissionLog log{{0, {1, 2, 3}, 12, 0},
+                      {1, {0, 2}, 8, 1},
+                      {3, {0, 1}, 10, 2},
+                      {2, {3}, 6, 3}};
+  ExpectDegenerateMatch(log, 4);
+}
+
+TEST(NetMakespan, LaterEntryMustWaitForBlockedPredecessorsLink) {
+  // The per-link FIFO property that distinguishes simnet's list
+  // schedule from eager admission: B (0->2) is blocked on 0's uplink
+  // until A finishes, and E (3->2), although its links are idle at
+  // t=0, must not overtake B on 2's downlink.
+  const TransmissionLog log{{0, {1}, 10, 0}, {0, {2}, 10, 1}, {3, {2}, 10, 2}};
+  const Topology topo = UnitRack(4);
+  LinkModel unit;
+  unit.bytes_per_sec = 1.0;
+  unit.multicast_log_coeff = 0.0;
+  const double expect = simnet::ReplayMakespan(
+      log, unit, 4, Discipline::kParallelFullDuplex, ReplayOrder::kLogOrder);
+  EXPECT_DOUBLE_EQ(expect, 30.0);  // A [0,10], B [10,20], E [20,30]
+  EXPECT_DOUBLE_EQ(NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   30.0);
+  // Per-sender order lets E's sender initiate independently: E [0,10],
+  // B [10,20].
+  EXPECT_DOUBLE_EQ(NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+                               ReplayOrder::kPerSender),
+                   20.0);
+}
+
+TEST(NetMakespan, MulticastReleasesReceiversBeforeSenderTail) {
+  // Fanout-2 multicast with coeff 1 streams 2x its payload on the
+  // sender's uplink; a follow-up unicast into one of its receivers may
+  // start at the receiver-release time (t=10), not the sender-tail
+  // time (t=20) — matching simnet's rx_end vs tx_end split.
+  Topology topo = UnitRack(3);
+  topo.multicast_log_coeff = 1.0;  // penalty = 1 + log2(2) = 2
+  const TransmissionLog log{{0, {1, 2}, 10, 0}, {1, {2}, 10, 1}};
+  LinkModel link;
+  link.bytes_per_sec = 1.0;
+  link.multicast_log_coeff = 1.0;
+  const double expect = simnet::ReplayMakespan(
+      log, link, 3, Discipline::kParallelFullDuplex, ReplayOrder::kLogOrder);
+  EXPECT_DOUBLE_EQ(expect, 20.0);  // mcast tx [0,20]; unicast [10,20]
+  EXPECT_DOUBLE_EQ(NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   20.0);
+}
+
+TEST(NetMakespan, RealTeraSortLogsMatchSimnet) {
+  for (const ShuffleSync sync :
+       {ShuffleSync::kBarrier, ShuffleSync::kOverlapped}) {
+    SortConfig config;
+    config.num_nodes = 6;
+    config.num_records = 6000;
+    config.shuffle_sync = sync;
+    const AlgorithmResult result = RunTeraSort(config);
+    ExpectDegenerateMatch(result.shuffle_log, config.num_nodes);
+  }
+}
+
+TEST(NetMakespan, RealCodedTeraSortLogsMatchSimnet) {
+  for (const ShuffleSync sync :
+       {ShuffleSync::kBarrier, ShuffleSync::kOverlapped}) {
+    SortConfig config;
+    config.num_nodes = 6;
+    config.redundancy = 2;
+    config.num_records = 6000;
+    config.shuffle_sync = sync;
+    const AlgorithmResult result = RunCodedTeraSort(config);
+    ExpectDegenerateMatch(result.shuffle_log, config.num_nodes);
+  }
+}
+
+// ---- Oversubscribed core ----
+
+TEST(NetMakespan, CrossRackFlowsShareTheCore) {
+  // Two racks of two; both 10-byte flows cross and the 1 B/s core
+  // halves their rates: makespan 20 instead of the uncontended 10.
+  Topology topo = Topology::Oversubscribed(4, 2, 4.0);
+  topo.access_bytes_per_sec = 1.0;
+  topo.core_bytes_per_sec = 1.0;
+  topo.multicast_log_coeff = 0.0;
+  const TransmissionLog log{{0, {2}, 10, 0}, {1, {3}, 10, 1}};
+  EXPECT_DOUBLE_EQ(NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   20.0);
+  // An in-rack flow is unaffected by the congested core.
+  const TransmissionLog local{{0, {1}, 10, 0}};
+  EXPECT_DOUBLE_EQ(NetMakespan(local, topo, Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   10.0);
+}
+
+TEST(NetMakespan, OversubscriptionIsMonotone) {
+  SortConfig config;
+  config.num_nodes = 6;
+  config.num_records = 6000;
+  const AlgorithmResult result = RunTeraSort(config);
+  double prev = NetMakespan(result.shuffle_log,
+                            Topology::SingleRack(config.num_nodes),
+                            Discipline::kParallelFullDuplex,
+                            ReplayOrder::kLogOrder);
+  for (const double factor : {1.0, 4.0, 16.0}) {
+    const Topology topo =
+        Topology::Oversubscribed(config.num_nodes, 2, factor);
+    const double t = NetMakespan(result.shuffle_log, topo,
+                                 Discipline::kParallelFullDuplex,
+                                 ReplayOrder::kLogOrder);
+    EXPECT_GE(t + 1e-12, prev);
+    prev = t;
+  }
+}
+
+TEST(NetMakespan, SerialRateLimitedByCongestedCore) {
+  Topology topo = Topology::Oversubscribed(4, 2, 1.0);
+  topo.access_bytes_per_sec = 2.0;
+  topo.core_bytes_per_sec = 1.0;
+  topo.multicast_log_coeff = 0.0;
+  // In-rack at 2 B/s (5 s), cross-rack at 1 B/s (10 s): serial sum.
+  const TransmissionLog log{{0, {1}, 10, 0}, {0, {2}, 10, 1}};
+  EXPECT_DOUBLE_EQ(
+      NetMakespan(log, topo, Discipline::kSerial, ReplayOrder::kLogOrder),
+      15.0);
+}
+
+// ---- Full-run scenario replay ----
+
+AlgorithmResult SmallTeraSort() {
+  SortConfig config;
+  config.num_nodes = 6;
+  config.num_records = 6000;
+  config.distribution = KeyDistribution::kBalanced;
+  return RunTeraSort(config);
+}
+
+AlgorithmResult SmallCoded() {
+  SortConfig config;
+  config.num_nodes = 6;
+  config.redundancy = 2;
+  config.num_records = 6000;
+  config.distribution = KeyDistribution::kBalanced;
+  return RunCodedTeraSort(config);
+}
+
+Scenario DegenerateScenario(int num_nodes, Discipline d, ReplayOrder o) {
+  Scenario s;
+  s.cluster = ClusterProfile::Homogeneous(num_nodes);
+  s.topology = Topology::SingleRack(num_nodes);
+  s.discipline = d;
+  s.order = o;
+  return s;
+}
+
+TEST(ReplayScenario, DegenerateMatchesAnalyticsBreakdown) {
+  const CostModel model;
+  const RunScale scale = PaperScale(6000, 600000);
+  for (const AlgorithmResult& result : {SmallTeraSort(), SmallCoded()}) {
+    const StageBreakdown closed =
+        SimulateRun(result, model, scale, ShuffleSchedule::kSerial);
+    const ScenarioOutcome out = ReplayScenario(
+        result, model, scale,
+        DegenerateScenario(result.config.num_nodes, Discipline::kSerial,
+                           ReplayOrder::kLogOrder));
+    // Compute stages must agree with the closed-form max-over-nodes.
+    for (const char* name : {stage::kMap, stage::kPack, stage::kEncode,
+                             stage::kUnpack, stage::kDecode, stage::kReduce,
+                             stage::kCodeGen}) {
+      const double expect = closed.stage(name);
+      const double got = out.breakdown().stage(name);
+      EXPECT_NEAR(got, expect, expect * 1e-9 + 1e-12) << name;
+    }
+    // The serial shuffle must agree with the replayed closed pipeline.
+    const double shuffle_expect = ReplayShuffleSeconds(
+        result, model, scale, ShuffleSchedule::kSerial);
+    EXPECT_NEAR(out.breakdown().stage(stage::kShuffle), shuffle_expect,
+                shuffle_expect * 1e-9);
+    // Makespan is the sum of barrier-synchronized spans.
+    double sum = 0;
+    for (const auto& span : out.spans) sum += span.seconds();
+    EXPECT_NEAR(out.makespan, sum, sum * 1e-9);
+  }
+}
+
+TEST(ReplayScenario, DegenerateParallelShuffleMatchesReplayMakespan) {
+  const CostModel model;
+  const RunScale scale = PaperScale(6000, 600000);
+  const AlgorithmResult result = SmallCoded();
+  for (const Discipline d :
+       {Discipline::kParallelHalfDuplex, Discipline::kParallelFullDuplex}) {
+    for (const ReplayOrder o : kAllOrders) {
+      const ScenarioOutcome out = ReplayScenario(
+          result, model, scale,
+          DegenerateScenario(result.config.num_nodes, d, o));
+      const ShuffleSchedule sched = d == Discipline::kParallelFullDuplex
+                                        ? ShuffleSchedule::kParallelFullDuplex
+                                        : ShuffleSchedule::kParallelHalfDuplex;
+      const double expect =
+          ReplayShuffleSeconds(result, model, scale, sched, o);
+      EXPECT_NEAR(out.breakdown().stage(stage::kShuffle), expect,
+                  expect * 1e-9);
+    }
+  }
+}
+
+TEST(ReplayScenario, SlowNodeStretchesMapAndTotal) {
+  const CostModel model;
+  const RunScale scale = PaperScale(6000, 600000);
+  const AlgorithmResult result = SmallCoded();
+  const Scenario base = DegenerateScenario(6, Discipline::kSerial,
+                                           ReplayOrder::kLogOrder);
+  Scenario straggled = base;
+  straggled.cluster.straggler.kind = StragglerKind::kSlowNode;
+  straggled.cluster.straggler.node = 0;
+  straggled.cluster.straggler.slowdown = 4.0;
+
+  const ScenarioOutcome b = ReplayScenario(result, model, scale, base);
+  const ScenarioOutcome s = ReplayScenario(result, model, scale, straggled);
+  EXPECT_GT(s.makespan, b.makespan);
+  // The balanced workload spreads Map evenly, so the slow node
+  // dominates and the Map span stretches by ~the full slowdown.
+  EXPECT_NEAR(s.breakdown().stage(stage::kMap),
+              4.0 * b.breakdown().stage(stage::kMap),
+              b.breakdown().stage(stage::kMap) * 0.1);
+  // The network stage is unaffected.
+  EXPECT_DOUBLE_EQ(s.breakdown().stage(stage::kShuffle),
+                   b.breakdown().stage(stage::kShuffle));
+}
+
+TEST(ReplayScenario, FailStopOutageDelaysExactlyRecovery) {
+  // Synthetic two-stage run: node 1 computes 10 s per stage; an outage
+  // window inside stage A pushes its completion (and everything after
+  // the barrier) out by the recovery time.
+  ScenarioRun run;
+  run.algorithm = "synthetic";
+  run.num_nodes = 2;
+  run.stages.push_back({"A", StageKind::kCompute, {4.0, 10.0}});
+  run.stages.push_back({"B", StageKind::kCompute, {10.0, 2.0}});
+
+  Scenario s;
+  s.cluster = ClusterProfile::Homogeneous(2);
+  s.topology = Topology::SingleRack(2);
+  s.cluster.straggler.kind = StragglerKind::kFailStop;
+  s.cluster.straggler.node = 1;
+  s.cluster.straggler.fail_at = 5.0;
+  s.cluster.straggler.recovery = 7.0;
+
+  const ScenarioOutcome out = ReplayScenario(run, s);
+  // Stage A: node 1 works [0,5], offline [5,12], finishes at 17.
+  EXPECT_DOUBLE_EQ(out.spans[0].end, 17.0);
+  // Stage B starts after the barrier and after the outage: plain 10 s.
+  EXPECT_DOUBLE_EQ(out.spans[1].end, 27.0);
+  EXPECT_DOUBLE_EQ(out.makespan, 27.0);
+
+  // A node that begins a stage mid-outage waits for recovery first.
+  s.cluster.straggler.fail_at = 0.0;
+  s.cluster.straggler.recovery = 3.0;
+  const ScenarioOutcome out2 = ReplayScenario(run, s);
+  EXPECT_DOUBLE_EQ(out2.spans[0].end, 13.0);  // starts at 3, +10
+}
+
+TEST(ReplayScenario, CmrEventsReplayThroughTheSameEngine) {
+  cmr::CmrConfig config;
+  config.num_nodes = 4;
+  config.redundancy = 2;
+  config.mode = cmr::ShuffleMode::kCoded;
+  const auto app = cmr::MakeGrepApp("map", 40);
+  const cmr::CmrResult result = cmr::RunCmr(*app, config);
+  ASSERT_FALSE(result.stage_order.empty());
+  ASSERT_FALSE(result.compute_events.empty());
+
+  const ScenarioRun run = BuildScenarioRunFromEvents(
+      "CMR-Grep", config.num_nodes, result.stage_order,
+      result.compute_events, result.shuffle_log);
+  ASSERT_EQ(run.stages.size(), result.stage_order.size());
+
+  Scenario base = DegenerateScenario(4, Discipline::kParallelFullDuplex,
+                                     ReplayOrder::kLogOrder);
+  const ScenarioOutcome b = ReplayScenario(run, base);
+  EXPECT_GT(b.makespan, 0.0);
+
+  Scenario slow = base;
+  slow.cluster.straggler.kind = StragglerKind::kSlowNode;
+  slow.cluster.straggler.node = 1;
+  slow.cluster.straggler.slowdown = 10.0;
+  EXPECT_GT(ReplayScenario(run, slow).makespan, b.makespan);
+}
+
+TEST(ReplayScenario, OverlappedCmrStragglerStillStretchesPipelinedStage) {
+  // The overlapped uncoded CMR engine merges Map into the Shuffle
+  // stage (pipelined). The stage is network-priced, but its measured
+  // per-node compute must still respond to a straggler: the stage
+  // ends when both the transfers and the slowest node are done.
+  cmr::CmrConfig config;
+  config.num_nodes = 4;
+  config.redundancy = 2;
+  config.mode = cmr::ShuffleMode::kUncoded;
+  config.sync = ShuffleSync::kOverlapped;
+  const auto app = cmr::MakeGrepApp("map", 40);
+  const cmr::CmrResult result = cmr::RunCmr(*app, config);
+
+  const ScenarioRun run = BuildScenarioRunFromEvents(
+      "CMR-Grep-overlapped", config.num_nodes, result.stage_order,
+      result.compute_events, result.shuffle_log);
+  const auto shuffle_stage =
+      std::find_if(run.stages.begin(), run.stages.end(),
+                   [](const ScenarioRun::Stage& s) {
+                     return s.name == stage::kShuffle;
+                   });
+  ASSERT_NE(shuffle_stage, run.stages.end());
+  ASSERT_EQ(shuffle_stage->kind, StageKind::kNetwork);
+  ASSERT_FALSE(shuffle_stage->node_seconds.empty());  // pipelined compute
+
+  Scenario base = DegenerateScenario(4, Discipline::kParallelFullDuplex,
+                                     ReplayOrder::kLogOrder);
+  const double baseline = ReplayScenario(run, base).makespan;
+  Scenario slow = base;
+  slow.cluster.straggler.kind = StragglerKind::kSlowNode;
+  slow.cluster.straggler.node = 0;
+  // Enormous slowdown: the compute leg must dominate the stage even
+  // though the stage is network-priced.
+  slow.cluster.straggler.slowdown = 1e6;
+  EXPECT_GT(ReplayScenario(run, slow).makespan, baseline * 10);
+}
+
+TEST(ReplayScenario, OversubscribedCoreFlipsTheWinner) {
+  // The headline scenario: on a non-blocking full-duplex fabric the
+  // parallel shuffle drains fast and TeraSort's r=1 Map wins; on a
+  // heavily oversubscribed core, CodedTeraSort's smaller cross-rack
+  // footprint wins.
+  const CostModel model;
+  const RunScale scale = PaperScale(6000, 2400000);
+  const AlgorithmResult ts = SmallTeraSort();
+  const AlgorithmResult cts = SmallCoded();
+
+  Scenario fast = DegenerateScenario(6, Discipline::kParallelFullDuplex,
+                                     ReplayOrder::kPerSender);
+  const double ts_fast = ReplayScenario(ts, model, scale, fast).makespan;
+  const double cts_fast = ReplayScenario(cts, model, scale, fast).makespan;
+
+  Scenario congested = fast;
+  congested.topology = Topology::Oversubscribed(6, 2, 64.0);
+  const double ts_slow = ReplayScenario(ts, model, scale, congested).makespan;
+  const double cts_slow =
+      ReplayScenario(cts, model, scale, congested).makespan;
+
+  // Congestion must hurt TeraSort (bigger cross-rack footprint) more.
+  EXPECT_GT(ts_slow / ts_fast, cts_slow / cts_fast);
+}
+
+}  // namespace
+}  // namespace cts::simscen

@@ -21,11 +21,28 @@
 //   --schedule=serial|parallel-full|parallel-half            [serial]
 //   --paper-records=N                 report at this scale   [=records]
 //   --no-verify                       skip output validation
+//
+// Transmission-log replay (simnet::ReplayMakespan; prints the shuffle
+// makespan of the measured log under a network discipline):
+//   --discipline=serial|half|full     replay discipline
+//   --order=log|per-sender            initiation-order constraint [log]
+//
+// Scenario replay (src/simscen; discrete-event replay of the whole run
+// under a cluster profile and topology):
+//   --scenario                        enable the scenario projection
+//   --topology=R:F                    R nodes per rack behind a core
+//                                     oversubscribed F:1  [single rack]
+//   --straggler=slow:NODE:FACTOR      one node FACTOR x slower
+//   --straggler=exp:SHIFT:MEAN[:SEED] shifted-exp factor per node/stage
+//   --straggler=failstop:T:REC[:NODE] node offline [T, T+REC)
+// The scenario network uses --discipline/--order (default serial/log).
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "analytics/report.h"
 #include "codedterasort/coded_terasort.h"
@@ -34,6 +51,7 @@
 #include "keyvalue/recordio.h"
 #include "keyvalue/teragen.h"
 #include "keyvalue/teravalidate.h"
+#include "simscen/engine.h"
 #include "terasort/terasort.h"
 
 namespace {
@@ -106,6 +124,107 @@ ShuffleSchedule ParseSchedule(const std::string& name) {
   Flags::Fail("unknown --schedule=" + name);
 }
 
+simnet::Discipline ParseDiscipline(const std::string& name) {
+  if (name == "serial") return simnet::Discipline::kSerial;
+  if (name == "half") return simnet::Discipline::kParallelHalfDuplex;
+  if (name == "full") return simnet::Discipline::kParallelFullDuplex;
+  Flags::Fail("unknown --discipline=" + name);
+}
+
+simnet::ReplayOrder ParseOrder(const std::string& name) {
+  if (name == "log") return simnet::ReplayOrder::kLogOrder;
+  if (name == "per-sender") return simnet::ReplayOrder::kPerSender;
+  Flags::Fail("unknown --order=" + name);
+}
+
+// Splits "a:b:c" into fields.
+std::vector<std::string> SplitColons(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t colon = s.find(':', pos);
+    if (colon == std::string::npos) {
+      out.push_back(s.substr(pos));
+      return out;
+    }
+    out.push_back(s.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+}
+
+double ParseDouble(const std::string& s, const std::string& flag) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || s.empty()) {
+    Flags::Fail("bad number '" + s + "' in --" + flag);
+  }
+  return v;
+}
+
+// Like ParseDouble, but the field must be a whole non-negative number
+// (node ids, rack sizes): 1.9 must not silently become 1.
+int ParseIndex(const std::string& s, const std::string& flag) {
+  const double v = ParseDouble(s, flag);
+  const int i = static_cast<int>(v);
+  if (v < 0 || static_cast<double>(i) != v) {
+    Flags::Fail("bad integer '" + s + "' in --" + flag);
+  }
+  return i;
+}
+
+simscen::Topology ParseTopology(const std::string& spec, int num_nodes) {
+  if (spec.empty()) return simscen::Topology::SingleRack(num_nodes);
+  const auto fields = SplitColons(spec);
+  if (fields.size() != 2) {
+    Flags::Fail("--topology expects R:F (nodes-per-rack:oversubscription)");
+  }
+  const int per_rack = ParseIndex(fields[0], "topology");
+  const double factor = ParseDouble(fields[1], "topology");
+  if (per_rack < 1) Flags::Fail("--topology needs >= 1 node per rack");
+  if (factor <= 0) Flags::Fail("--topology oversubscription must be > 0");
+  return simscen::Topology::Oversubscribed(num_nodes, per_rack, factor);
+}
+
+simscen::StragglerModel ParseStraggler(const std::string& spec) {
+  simscen::StragglerModel m;
+  if (spec.empty() || spec == "none") return m;
+  const auto fields = SplitColons(spec);
+  const std::string& kind = fields[0];
+  if (kind == "slow" && fields.size() == 3) {
+    m.kind = simscen::StragglerKind::kSlowNode;
+    m.node = ParseIndex(fields[1], "straggler");
+    m.slowdown = ParseDouble(fields[2], "straggler");
+    if (m.slowdown < 1.0) Flags::Fail("--straggler slowdown must be >= 1");
+  } else if (kind == "exp" && (fields.size() == 3 || fields.size() == 4)) {
+    m.kind = simscen::StragglerKind::kShiftedExp;
+    m.shift = ParseDouble(fields[1], "straggler");
+    m.mean = ParseDouble(fields[2], "straggler");
+    if (m.shift < 0 || m.mean < 0) {
+      Flags::Fail("--straggler exp shift/mean must be >= 0");
+    }
+    if (fields.size() == 4) {
+      m.seed = static_cast<std::uint64_t>(
+          ParseIndex(fields[3], "straggler"));
+    }
+  } else if (kind == "failstop" &&
+             (fields.size() == 3 || fields.size() == 4)) {
+    m.kind = simscen::StragglerKind::kFailStop;
+    m.fail_at = ParseDouble(fields[1], "straggler");
+    m.recovery = ParseDouble(fields[2], "straggler");
+    if (m.fail_at < 0 || m.recovery < 0) {
+      Flags::Fail("--straggler failstop times must be >= 0");
+    }
+    if (fields.size() == 4) {
+      m.node = ParseIndex(fields[3], "straggler");
+    }
+  } else {
+    Flags::Fail("unknown --straggler=" + spec +
+                " (slow:NODE:FACTOR | exp:SHIFT:MEAN[:SEED] | "
+                "failstop:T:REC[:NODE] | none)");
+  }
+  return m;
+}
+
 // TeraValidate: global order + order-insensitive multiset checksum
 // against the generated input.
 ValidationReport Verify(const AlgorithmResult& result) {
@@ -159,6 +278,43 @@ int main(int argc, char** argv) {
   const std::uint64_t paper_records =
       flags.GetU64("paper-records", config.num_records);
   const bool verify = !flags.GetBool("no-verify");
+
+  // Replay / scenario options.
+  const std::string discipline_spec = flags.Get("discipline", "");
+  const std::string order_spec = flags.Get("order", "");
+  const simnet::Discipline discipline =
+      ParseDiscipline(discipline_spec.empty() ? "serial" : discipline_spec);
+  const simnet::ReplayOrder order =
+      ParseOrder(order_spec.empty() ? "log" : order_spec);
+  const bool scenario_enabled = flags.GetBool("scenario");
+  const std::string topology_spec = flags.Get("topology", "");
+  const std::string straggler_spec = flags.Get("straggler", "none");
+  if (!topology_spec.empty() && !scenario_enabled) {
+    Flags::Fail("--topology requires --scenario");
+  }
+  if (straggler_spec != "none" && !scenario_enabled) {
+    Flags::Fail("--straggler requires --scenario");
+  }
+  std::optional<simscen::Scenario> scenario;
+  if (scenario_enabled) {
+    simscen::Scenario s;
+    s.cluster = simscen::ClusterProfile::Homogeneous(config.num_nodes);
+    s.cluster.straggler = ParseStraggler(straggler_spec);
+    const auto kind = s.cluster.straggler.kind;
+    if ((kind == simscen::StragglerKind::kSlowNode ||
+         kind == simscen::StragglerKind::kFailStop) &&
+        (s.cluster.straggler.node < 0 ||
+         s.cluster.straggler.node >= config.num_nodes)) {
+      Flags::Fail("--straggler node " +
+                  std::to_string(s.cluster.straggler.node) +
+                  " out of range for --nodes=" +
+                  std::to_string(config.num_nodes));
+    }
+    s.topology = ParseTopology(topology_spec, config.num_nodes);
+    s.discipline = discipline;
+    s.order = order;
+    scenario = s;
+  }
   flags.CheckAllConsumed();
 
   std::cout << "ctsort: K=" << config.num_nodes << " r=" << config.redundancy
@@ -168,20 +324,25 @@ int main(int argc, char** argv) {
 
   const CostModel model;
   const RunScale scale = PaperScale(config.num_records, paper_records);
-  std::vector<StageBreakdown> rows;
+  std::vector<AlgorithmResult> results;
 
   if (algo == "terasort" || algo == "both") {
-    const AlgorithmResult result = RunTeraSort(config);
-    Report(result, verify);
-    rows.push_back(SimulateRun(result, model, scale, schedule));
+    results.push_back(RunTeraSort(config));
   }
   if (algo == "coded" || algo == "both") {
-    const AlgorithmResult result = RunCodedTeraSort(config);
+    results.push_back(RunCodedTeraSort(config));
+  }
+  if (results.empty()) Flags::Fail("unknown --algo=" + algo);
+
+  std::vector<StageBreakdown> rows;
+  for (AlgorithmResult& result : results) {
     Report(result, verify);
     rows.push_back(SimulateRun(result, model, scale, schedule));
-  }
-  if (algo != "terasort" && algo != "coded" && algo != "both") {
-    Flags::Fail("unknown --algo=" + algo);
+    // The replay/scenario sections below only need counters and logs;
+    // drop the sorted data so --algo=both doesn't hold two full
+    // datasets through the reporting phase.
+    result.partitions.clear();
+    result.partitions.shrink_to_fit();
   }
 
   BreakdownTable("EC2-calibrated projection at " +
@@ -190,5 +351,54 @@ int main(int argc, char** argv) {
                      " (100 Mbps)",
                  rows)
       .render(std::cout);
+
+  // ---- Transmission-log replay (--discipline/--order) ----
+  if (!discipline_spec.empty() || !order_spec.empty()) {
+    ShuffleSchedule replay_schedule = ShuffleSchedule::kSerial;
+    switch (discipline) {
+      case simnet::Discipline::kSerial:
+        replay_schedule = ShuffleSchedule::kSerial;
+        break;
+      case simnet::Discipline::kParallelHalfDuplex:
+        replay_schedule = ShuffleSchedule::kParallelHalfDuplex;
+        break;
+      case simnet::Discipline::kParallelFullDuplex:
+        replay_schedule = ShuffleSchedule::kParallelFullDuplex;
+        break;
+    }
+    TextTable replay("shuffle makespan: discrete-event replay of the "
+                     "measured log (simnet::ReplayMakespan)");
+    replay.set_header({"Algorithm", "discipline", "order", "seconds"});
+    for (const AlgorithmResult& result : results) {
+      replay.add_row(
+          {result.algorithm,
+           discipline_spec.empty() ? "serial" : discipline_spec,
+           order_spec.empty() ? "log" : order_spec,
+           TextTable::Num(ReplayShuffleSeconds(result, model, scale,
+                                               replay_schedule, order))});
+    }
+    std::cout << '\n';
+    replay.render(std::cout);
+  }
+
+  // ---- Scenario replay (--scenario) ----
+  if (scenario.has_value()) {
+    std::vector<StageBreakdown> scenario_rows;
+    TextTable spans("scenario makespans");
+    spans.set_header({"Algorithm", "makespan (s)"});
+    for (const AlgorithmResult& result : results) {
+      const simscen::ScenarioOutcome out =
+          simscen::ReplayScenario(result, model, scale, *scenario);
+      scenario_rows.push_back(out.breakdown());
+      spans.add_row({out.algorithm, TextTable::Num(out.makespan)});
+    }
+    std::cout << '\n';
+    std::string title = "scenario projection (topology=" +
+                        (topology_spec.empty() ? "single-rack"
+                                               : topology_spec) +
+                        ", straggler=" + straggler_spec + ")";
+    BreakdownTable(title, scenario_rows).render(std::cout);
+    spans.render(std::cout);
+  }
   return 0;
 }
