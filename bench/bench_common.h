@@ -107,6 +107,110 @@ class JsonReport {
   std::map<std::string, double> metrics_;  // sorted, deterministic
 };
 
+// Validates the flat bench-JSON schema JsonReport emits, so the CI
+// artifacts stay machine-parseable (tools/bench_trend.py consumes
+// them): one object, a "bench" string naming the binary, and every
+// other key mapping to a finite number or null, with no duplicate
+// keys. `required` lists metric keys that must be present. Returns an
+// empty string on success, else a description of the first violation.
+// Deliberately a tiny recursive-descent scanner, not a JSON library:
+// it accepts exactly the subset JsonReport writes.
+inline std::string CheckBenchJsonSchema(
+    const std::string& content,
+    const std::vector<std::string>& required = {}) {
+  std::size_t pos = 0;
+  const auto skip_ws = [&] {
+    while (pos < content.size() &&
+           (content[pos] == ' ' || content[pos] == '\n' ||
+            content[pos] == '\t' || content[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  const auto fail = [&](const std::string& msg) {
+    return msg + " (at byte " + std::to_string(pos) + ")";
+  };
+
+  // Parses a quoted string without escapes (JsonReport never emits
+  // any); leaves pos past the closing quote.
+  std::string str;
+  const auto parse_string = [&]() -> bool {
+    if (pos >= content.size() || content[pos] != '"') return false;
+    const std::size_t close = content.find('"', pos + 1);
+    if (close == std::string::npos) return false;
+    str = content.substr(pos + 1, close - pos - 1);
+    if (str.find('\\') != std::string::npos) return false;
+    pos = close + 1;
+    return true;
+  };
+
+  skip_ws();
+  if (pos >= content.size() || content[pos] != '{') {
+    return fail("expected '{'");
+  }
+  ++pos;
+
+  std::map<std::string, char> keys;  // key -> 's'tring | 'n'umber/null
+  skip_ws();
+  bool first = true;
+  while (true) {
+    skip_ws();
+    if (pos < content.size() && content[pos] == '}') {
+      ++pos;
+      break;
+    }
+    if (!first) {
+      if (pos >= content.size() || content[pos] != ',') {
+        return fail("expected ',' or '}'");
+      }
+      ++pos;
+      skip_ws();
+    }
+    first = false;
+    if (!parse_string()) return fail("expected a quoted key");
+    const std::string key = str;
+    if (keys.count(key)) return "duplicate key \"" + key + "\"";
+    skip_ws();
+    if (pos >= content.size() || content[pos] != ':') {
+      return fail("expected ':' after \"" + key + "\"");
+    }
+    ++pos;
+    skip_ws();
+    if (pos < content.size() && content[pos] == '"') {
+      if (!parse_string()) return fail("unterminated string value");
+      keys[key] = 's';
+    } else if (content.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      keys[key] = 'n';
+    } else {
+      char* end = nullptr;
+      const double v = std::strtod(content.c_str() + pos, &end);
+      if (end == content.c_str() + pos) {
+        return fail("value of \"" + key + "\" is not a number");
+      }
+      if (!std::isfinite(v)) {
+        return "value of \"" + key + "\" is not finite";
+      }
+      pos = static_cast<std::size_t>(end - content.c_str());
+      keys[key] = 'n';
+    }
+  }
+  skip_ws();
+  if (pos != content.size()) return fail("trailing content after '}'");
+
+  const auto bench = keys.find("bench");
+  if (bench == keys.end()) return "missing \"bench\" key";
+  if (bench->second != 's') return "\"bench\" must be a string";
+  for (const auto& [key, type] : keys) {
+    if (key != "bench" && type != 'n') {
+      return "metric \"" + key + "\" must be a number or null";
+    }
+  }
+  for (const std::string& key : required) {
+    if (!keys.count(key)) return "missing required key \"" + key + "\"";
+  }
+  return "";
+}
+
 // The paper's workload: 12 GB = 120 M 100-byte records.
 inline constexpr std::uint64_t kPaperRecords = 120'000'000;
 

@@ -209,7 +209,7 @@ TextTable BreakdownTable(const std::string& title,
                          const std::vector<StageBreakdown>& rows) {
   TextTable table(title);
   table.set_header({"Algorithm", "CodeGen", "Map", "Pack/Encode", "Shuffle",
-                    "Unpack/Decode", "Reduce", "Total", "Speedup"});
+                    "Unpack/Decode", "Reduce", "Wasted", "Total", "Speedup"});
   const double baseline = rows.empty() ? 0 : rows.front().total();
   for (const auto& b : rows) {
     const double total = b.total();
@@ -226,6 +226,7 @@ TextTable BreakdownTable(const std::string& title,
         TextTable::Num(b.shuffle()),
         TextTable::Num(b.unpack_or_decode()),
         TextTable::Num(b.stage(stage::kReduce)),
+        b.wasted_seconds == 0 ? "-" : TextTable::Num(b.wasted_seconds),
         TextTable::Num(total),
         speedup,
     });

@@ -23,10 +23,15 @@ struct StageTime {
   double seconds = 0;
 };
 
-// A priced run: ordered stage times plus the total.
+// A priced run: ordered stage times plus the total. `wasted_seconds`
+// is compute burnt without contributing to the output (losing
+// speculative copies, abandoned straggler work — see src/mitigate);
+// it overlaps the stage times rather than adding to the total, so it
+// gets its own table column.
 struct StageBreakdown {
   std::string algorithm;
   std::vector<StageTime> stages;
+  double wasted_seconds = 0;
 
   double total() const {
     double t = 0;
@@ -106,7 +111,8 @@ double ReplayShuffleSeconds(
 
 // Renders breakdowns as a paper-style table: one row per run, columns
 // CodeGen / Map / Pack-Encode / Shuffle / Unpack-Decode / Reduce /
-// Total / Speedup-vs-first-row.
+// Wasted / Total / Speedup-vs-first-row. Wasted is the mitigation
+// layer's thrown-away compute ("-" when zero).
 TextTable BreakdownTable(const std::string& title,
                          const std::vector<StageBreakdown>& rows);
 

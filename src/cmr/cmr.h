@@ -78,6 +78,8 @@ struct CmrConfig {
   // Barrier-synchronous stages (the paper) or the pipelined
   // map/shuffle overlap on nonblocking sends (Section VI extension).
   ShuffleSync sync = ShuffleSync::kBarrier;
+  // Live straggler injection (tests / demos; see driver/run_result.h).
+  std::vector<InjectedDelay> injected_delays;
 };
 
 struct CmrResult {

@@ -9,11 +9,13 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.h"
@@ -125,9 +127,16 @@ void RunOnCluster(simmpi::World& world, RunRecorder& recorder,
 // the paper's synchronous stage-after-stage execution.
 class StageRunner {
  public:
+  // `injected_delays` (optional, borrowed) is the live fault-injection
+  // hook: a matching entry makes this node really sleep inside the
+  // stage body, so measured wall times and ComputeEvents exhibit the
+  // straggler — the substrate the mitigation layer (src/mitigate) is
+  // evaluated against on live runs.
   StageRunner(simmpi::World& world, simmpi::Comm& world_comm,
-              RunRecorder& recorder)
-      : world_(world), comm_(world_comm), recorder_(recorder) {}
+              RunRecorder& recorder,
+              const std::vector<InjectedDelay>* injected_delays = nullptr)
+      : world_(world), comm_(world_comm), recorder_(recorder),
+        injected_delays_(injected_delays) {}
 
   template <typename Fn>
   void run(const std::string& name, Fn&& body) {
@@ -137,15 +146,26 @@ class StageRunner {
     const double start = run_clock_.elapsed();
     Stopwatch watch;
     body();
+    inject_delay(name);
     const double seconds = watch.elapsed();
     recorder_.record_wall(name, comm_.my_global(), seconds);
     recorder_.record_event(name, comm_.my_global(), start, start + seconds);
   }
 
  private:
+  void inject_delay(const std::string& name) {
+    if (injected_delays_ == nullptr) return;
+    for (const InjectedDelay& d : *injected_delays_) {
+      if (d.stage == name && d.node == comm_.my_global() && d.seconds > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(d.seconds));
+      }
+    }
+  }
+
   simmpi::World& world_;
   simmpi::Comm& comm_;
   RunRecorder& recorder_;
+  const std::vector<InjectedDelay>* injected_delays_;
   // Node-local run clock anchoring ComputeEvent boundaries; starts
   // when the node program constructs its StageRunner.
   Stopwatch run_clock_;

@@ -66,6 +66,18 @@ enum class ShuffleSync {
                 // can actually overlap.
 };
 
+// Live fault injection: a real wall-clock delay inserted into one
+// node's stage body by driver::StageRunner, so the thread-per-node
+// harness can exhibit the stragglers the mitigation layer
+// (src/mitigate) is evaluated against. The delay is measured like any
+// other compute — it shows up in wall_seconds and ComputeEvents and
+// therefore in every downstream policy evaluation.
+struct InjectedDelay {
+  std::string stage;
+  NodeId node = 0;
+  double seconds = 0;
+};
+
 // Configuration of one sorting job.
 struct SortConfig {
   int num_nodes = 4;           // K
@@ -80,6 +92,8 @@ struct SortConfig {
   CodeGenMode codegen_mode = CodeGenMode::kCommSplit;
   // Shuffle sequencing (both algorithms).
   ShuffleSync shuffle_sync = ShuffleSync::kBarrier;
+  // Live straggler injection (tests / demos; see InjectedDelay).
+  std::vector<InjectedDelay> injected_delays;
 
   std::uint64_t total_bytes() const { return num_records * kRecordBytes; }
 };

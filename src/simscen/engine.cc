@@ -39,6 +39,7 @@ StageBreakdown ScenarioOutcome::breakdown() const {
   StageBreakdown b;
   b.algorithm = algorithm;
   for (const auto& span : spans) b.stages.push_back({span.name, span.seconds()});
+  b.wasted_seconds = wasted_seconds;
   return b;
 }
 
@@ -47,6 +48,7 @@ ScenarioRun BuildScenarioRun(const AlgorithmResult& result,
   ScenarioRun run;
   run.algorithm = result.algorithm;
   run.num_nodes = result.config.num_nodes;
+  run.redundancy = std::max(result.config.redundancy, 1);
   run.shuffle_log = result.shuffle_log;
   run.shuffle_correction = ComputeShuffleScaling(result, model, scale).correction;
 
@@ -105,11 +107,12 @@ ScenarioRun BuildScenarioRun(const AlgorithmResult& result,
 ScenarioRun BuildScenarioRunFromEvents(
     const std::string& algorithm, int num_nodes,
     const std::vector<std::string>& stage_order, const ComputeLog& events,
-    simnet::TransmissionLog shuffle_log) {
+    simnet::TransmissionLog shuffle_log, int redundancy) {
   CTS_CHECK_GE(num_nodes, 1);
   ScenarioRun run;
   run.algorithm = algorithm;
   run.num_nodes = num_nodes;
+  run.redundancy = std::max(redundancy, 1);
   run.shuffle_log = std::move(shuffle_log);
 
   std::map<std::string, std::vector<double>> per_stage;
@@ -138,8 +141,10 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
                                const Scenario& scenario) {
   CTS_CHECK_GE(run.num_nodes, 1);
   CTS_CHECK_EQ(scenario.topology.num_nodes, run.num_nodes);
+  CTS_CHECK_GT(run.shuffle_correction, 0.0);
   const StragglerModel& strag = scenario.cluster.straggler;
   const bool fail_stop = strag.kind == StragglerKind::kFailStop;
+  const mitigate::MitigationPolicy& policy = scenario.mitigation;
 
   ScenarioOutcome out;
   out.algorithm = run.algorithm;
@@ -160,8 +165,23 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
       // slowest (possibly straggling) node are done. Sorting runs
       // leave node_seconds empty here, so the degenerate replay is a
       // pure NetMakespan.
+      //
+      // A fail-stop outage overlapping the stage freezes the failed
+      // node's links: its in-flight transfers are re-queued and
+      // retransmit after the window (simscen/netsim.h). The replay
+      // clock runs in measured-log seconds, scenario seconds are
+      // log seconds x shuffle_correction, so the outage window maps
+      // into log time by the inverse factor.
+      LinkOutage outage;
+      if (fail_stop && strag.recovery > 0) {
+        outage.node = strag.node;
+        outage.start = (strag.fail_at - now) / run.shuffle_correction;
+        outage.end = (strag.fail_at + strag.recovery - now) /
+                     run.shuffle_correction;
+      }
       const double net = NetMakespan(run.shuffle_log, scenario.topology,
-                                     scenario.discipline, scenario.order) *
+                                     scenario.discipline, scenario.order,
+                                     outage) *
                          run.shuffle_correction;
       double stage_end = now + net;
       for (int n = 0; n < run.num_nodes; ++n) {
@@ -178,6 +198,7 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
         stage_end = std::max(stage_end, end);
       }
       span.end = stage_end;
+      span.unmitigated_end = stage_end;
     } else {
       double stage_end = now;
       for (int n = 0; n < run.num_nodes; ++n) {
@@ -196,8 +217,68 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
         stage_end = std::max(stage_end, end);
       }
       span.end = stage_end;
+      span.unmitigated_end = stage_end;
+
+      // Mitigation applies to per-node compute stages only: a
+      // collective is latency-bound and identical on every node, and
+      // the network stage has no whole-node unit of work a backup
+      // could re-execute.
+      if (st.kind == StageKind::kCompute &&
+          policy.kind != mitigate::PolicyKind::kNone) {
+        mitigate::StageView view;
+        view.start = now;
+        view.node_end = span.node_end;
+        // The K-of-N coded completion exploits the C(K, r) placement:
+        // every Map input lives on r nodes, so the Map barrier may
+        // abandon up to r-1 stragglers. Other stages operate on
+        // unreplicated intermediate state.
+        if (st.name == stage::kMap) {
+          view.coded_tolerance =
+              std::min(run.redundancy - 1, run.num_nodes - 1);
+        }
+        // A backup re-executes the victim's input share. Its cost is
+        // estimated from the median per-node baseline, not the
+        // victim's own: on event-built runs the victim's measured
+        // duration is polluted by the very straggle being mitigated,
+        // while shares themselves are balanced by construction.
+        std::vector<double> bases(static_cast<std::size_t>(run.num_nodes),
+                                  0.0);
+        for (std::size_t ni = 0;
+             ni < bases.size() && ni < st.node_seconds.size(); ++ni) {
+          bases[ni] = st.node_seconds[ni];
+        }
+        std::vector<double> sorted_bases = bases;
+        std::sort(sorted_bases.begin(), sorted_bases.end());
+        const double median_base =
+            sorted_bases[sorted_bases.size() / 2];
+        view.backup_end = [&](NodeId /*victim*/, NodeId helper, double at) {
+          const double dur = scenario.cluster.compute_seconds(
+              helper, stage_index, median_base);
+          if (fail_stop && helper == strag.node) {
+            return EndWithOutage(at, dur, strag.fail_at, strag.recovery);
+          }
+          return at + dur;
+        };
+        view.busy_seconds = [&](NodeId node, double t) {
+          double busy = std::max(0.0, t - now);
+          if (fail_stop && node == strag.node) {
+            const double o0 = std::max(strag.fail_at, now);
+            const double o1 = std::min(strag.fail_at + strag.recovery, t);
+            busy -= std::max(0.0, o1 - o0);
+          }
+          return std::max(0.0, busy);
+        };
+        const mitigate::StageMitigation sm =
+            mitigate::ApplyPolicy(policy, view);
+        span.node_end = sm.node_end;
+        span.end = sm.end;
+        span.wasted_seconds = sm.wasted_seconds;
+        span.speculative_copies = sm.speculative_copies;
+        span.abandoned_nodes = sm.abandoned_nodes;
+      }
     }
     now = span.end;
+    out.wasted_seconds += span.wasted_seconds;
     out.spans.push_back(std::move(span));
     ++stage_index;
   }

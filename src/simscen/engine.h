@@ -22,18 +22,22 @@
 
 #include "analytics/report.h"
 #include "driver/run_result.h"
+#include "mitigate/policy.h"
 #include "simnet/schedule.h"
 #include "simscen/netsim.h"
 #include "simscen/scenario.h"
 
 namespace cts::simscen {
 
-// One scenario: who runs it and what network carries it.
+// One scenario: who runs it, what network carries it, and how the
+// cluster reacts to stragglers (src/mitigate; kNone replays the
+// paper's wait-for-the-slowest barrier).
 struct Scenario {
   ClusterProfile cluster;
   Topology topology;
   simnet::Discipline discipline = simnet::Discipline::kSerial;
   simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder;
+  mitigate::MitigationPolicy mitigation;
 };
 
 // How a replayed stage reacts to the scenario.
@@ -59,6 +63,10 @@ struct ScenarioRun {
 
   std::string algorithm;
   int num_nodes = 0;
+  // Computation redundancy r of the run (1 for plain TeraSort). The
+  // K-of-N coded-Map mitigation derives its straggler tolerance (r-1)
+  // from it: the C(K, r) placement stores every Map input on r nodes.
+  int redundancy = 1;
   std::vector<Stage> stages;  // in execution order
   simnet::TransmissionLog shuffle_log;
   // Maps replayed shuffle seconds to reported scale (the analytics
@@ -73,6 +81,12 @@ struct StageSpan {
   double end = 0;                // max over nodes (barrier)
   std::vector<double> node_end;  // per-node completion times
 
+  // Mitigation accounting (zero under mitigate::PolicyKind::kNone).
+  double unmitigated_end = 0;   // what the plain barrier would wait for
+  double wasted_seconds = 0;    // losing copies + abandoned partial work
+  int speculative_copies = 0;
+  int abandoned_nodes = 0;
+
   double seconds() const { return end - start; }
 };
 
@@ -80,6 +94,9 @@ struct ScenarioOutcome {
   std::string algorithm;
   std::vector<StageSpan> spans;
   double makespan = 0;
+  // Total compute burnt without contributing to the output across all
+  // stages (see StageSpan::wasted_seconds).
+  double wasted_seconds = 0;
 
   // Table-1-style row for analytics::BreakdownTable.
   StageBreakdown breakdown() const;
@@ -99,11 +116,13 @@ ScenarioRun BuildScenarioRun(const AlgorithmResult& result,
 // pipelined stage (CMR's overlapped Map+Shuffle) ends when both the
 // network and the slowest node's compute are done, so a straggler
 // stretches it even though it is network-priced. Every other stage
-// replays its measured per-node durations.
+// replays its measured per-node durations. `redundancy` is the run's
+// r (for the coded-Map mitigation tolerance; 1 if inputs are not
+// replicated).
 ScenarioRun BuildScenarioRunFromEvents(
     const std::string& algorithm, int num_nodes,
     const std::vector<std::string>& stage_order, const ComputeLog& events,
-    simnet::TransmissionLog shuffle_log);
+    simnet::TransmissionLog shuffle_log, int redundancy = 1);
 
 // Replays `run` under `scenario`.
 ScenarioOutcome ReplayScenario(const ScenarioRun& run,

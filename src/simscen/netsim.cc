@@ -20,6 +20,14 @@ double MulticastPenalty(const simnet::Transmission& t, double coeff) {
   return fanout > 1.0 ? 1.0 + coeff * std::log2(fanout) : 1.0;
 }
 
+bool Touches(const simnet::Transmission& t, NodeId node) {
+  if (t.src == node) return true;
+  for (const NodeId d : t.dsts) {
+    if (d == node) return true;
+  }
+  return false;
+}
+
 // One transmission in flight. The flow streams `stream_total` bytes
 // from the sender's uplink; each receiver's downlink is released once
 // `payload` bytes have flowed, the uplink (and core share) when the
@@ -29,6 +37,7 @@ struct Flow {
   double payload = 0;       // bytes each receiver must see
   double stream_total = 0;  // payload * multicast penalty (sender side)
   bool crossing = false;    // traverses the core
+  bool touches_outage = false;
 
   int up_res = -1;
   std::vector<int> down_res;  // deduplicated
@@ -55,7 +64,8 @@ struct Flow {
 };
 
 // Exclusive access-link state: FIFO queue of flow indices in log order
-// (kLogOrder) plus a plain occupancy flag (kPerSender).
+// (kLogOrder) plus a plain occupancy flag (kPerSender). Re-queued
+// outage victims append to the queue, so followers overtake them.
 struct Resource {
   std::vector<std::size_t> queue;  // log-order users (kLogOrder)
   std::size_t head = 0;            // first unreleased user
@@ -65,8 +75,10 @@ struct Resource {
 class FlowSim {
  public:
   FlowSim(const simnet::TransmissionLog& log, const Topology& topo,
-          bool full_duplex, simnet::ReplayOrder order)
-      : log_(log), topo_(topo), full_duplex_(full_duplex), order_(order) {
+          bool full_duplex, simnet::ReplayOrder order,
+          const LinkOutage& outage)
+      : log_(log), topo_(topo), full_duplex_(full_duplex), order_(order),
+        outage_(outage) {
     const int n = topo.num_nodes;
     CTS_CHECK_GE(n, 1);
     CTS_CHECK_GT(topo.access_bytes_per_sec, 0.0);
@@ -84,6 +96,7 @@ class FlowSim {
       f.stream_total = static_cast<double>(t.bytes) *
                        MulticastPenalty(t, topo.multicast_log_coeff);
       f.crossing = topo.crosses_core(t);
+      f.touches_outage = outage_.active() && Touches(t, outage_.node);
       f.up_res = up_of(t.src);
       for (const NodeId d : t.dsts) {
         CTS_CHECK_GE(d, 0);
@@ -99,7 +112,7 @@ class FlowSim {
 
     if (order_ == simnet::ReplayOrder::kLogOrder) {
       for (std::size_t i = 0; i < flows_.size(); ++i) {
-        for (const int r : touched(flows_[i])) {
+        for (const int r : needed(flows_[i])) {
           resources_[static_cast<std::size_t>(r)].queue.push_back(i);
         }
       }
@@ -120,14 +133,18 @@ class FlowSim {
     }
   }
 
-  double Run() {
+  double Run(NetReplayStats* stats) {
+    if (stats != nullptr) stats->flow_end.assign(flows_.size(), 0.0);
     double now = 0;
     double makespan = 0;
     std::size_t remaining = flows_.size();
+    ProcessOutage(now);
     Admit(now);
     Reallocate(now);
     while (remaining > 0) {
-      // Earliest next threshold crossing among active flows.
+      // Earliest next threshold crossing among active flows, plus the
+      // outage window edges (a blocked system only moves again when
+      // the outage starts releasing flows or ends re-admitting them).
       double t_next = kInf;
       for (const Flow& f : flows_) {
         if (!f.admitted || f.done) continue;
@@ -136,12 +153,20 @@ class FlowSim {
             f.seg_start + (f.next_threshold() - f.seg_sent) / f.rate;
         t_next = std::min(t_next, cand);
       }
+      if (outage_.active()) {
+        if (!outage_hit_ && outage_.start > now) {
+          t_next = std::min(t_next, outage_.start);
+        } else if (outage_.end > now) {
+          t_next = std::min(t_next, outage_.end);
+        }
+      }
       CTS_CHECK_LT(t_next, kInf);
       now = std::max(now, t_next);
 
       // Process every flow whose candidate equals the event time (ties
       // come from identical arithmetic and compare equal).
-      for (Flow& f : flows_) {
+      for (std::size_t i = 0; i < flows_.size(); ++i) {
+        Flow& f = flows_[i];
         if (!f.admitted || f.done) continue;
         const double cand =
             f.seg_start + (f.next_threshold() - f.seg_sent) / f.rate;
@@ -152,14 +177,17 @@ class FlowSim {
         if (!f.receivers_released) {
           f.receivers_released = true;
           for (const int r : f.down_res) Release(r);
+          if (stats != nullptr) stats->delivered_payload_bytes += f.payload;
         }
         if (f.receivers_released && f.seg_sent >= f.stream_total) {
           f.done = true;
           Release(f.up_res);
           makespan = std::max(makespan, t_next);
+          if (stats != nullptr) stats->flow_end[i] = t_next;
           --remaining;
         }
       }
+      ProcessOutage(now);
       Admit(now);
       Reallocate(now);
     }
@@ -174,11 +202,16 @@ class FlowSim {
     return full_duplex_ ? 2 * n + 1 : n;
   }
 
-  // All exclusive resources a flow holds at admission.
-  std::vector<int> touched(const Flow& f) const {
+  // The exclusive resources a flow needs to make progress from its
+  // current state: the uplink always; the receiver downlinks only
+  // until the payload has been delivered (a re-queued tail must not
+  // wait for downlinks it already released).
+  std::vector<int> needed(const Flow& f) const {
     std::vector<int> rs;
     rs.push_back(f.up_res);
-    rs.insert(rs.end(), f.down_res.begin(), f.down_res.end());
+    if (!f.receivers_released) {
+      rs.insert(rs.end(), f.down_res.begin(), f.down_res.end());
+    }
     return rs;
   }
 
@@ -191,9 +224,43 @@ class FlowSim {
     }
   }
 
-  bool Admissible(std::size_t i) const {
+  bool InOutage(double now) const {
+    return outage_.covers(now);
+  }
+
+  // At the moment the outage starts, every in-flight flow touching the
+  // failed node loses its progress and is re-queued: its links are
+  // released (followers may overtake) and it re-enters at the back of
+  // the queues it still needs. Payload already delivered stays
+  // delivered — only the undelivered part retransmits.
+  void ProcessOutage(double now) {
+    if (outage_hit_ || !outage_.active() || now < outage_.start) return;
+    outage_hit_ = true;
+    if (now >= outage_.end) return;  // zero-length window inside a step
+    for (std::size_t i = 0; i < flows_.size(); ++i) {
+      Flow& f = flows_[i];
+      if (!f.admitted || f.done || !f.touches_outage) continue;
+      for (const int r : needed(f)) {
+        Release(r);
+        if (order_ == simnet::ReplayOrder::kLogOrder) {
+          resources_[static_cast<std::size_t>(r)].queue.push_back(i);
+        }
+      }
+      if (order_ != simnet::ReplayOrder::kLogOrder) {
+        // Retry in the sender's queue once the outage lifts.
+        sender_queue_[static_cast<std::size_t>(f.t->src)].push_back(i);
+      }
+      f.admitted = false;
+      f.rate = 0;
+      f.seg_start = now;
+      f.seg_sent = f.receivers_released ? f.payload : 0.0;
+    }
+  }
+
+  bool Admissible(std::size_t i, double now) const {
     const Flow& f = flows_[i];
-    for (const int r : touched(f)) {
+    if (f.touches_outage && InOutage(now)) return false;
+    for (const int r : needed(f)) {
       const Resource& res = resources_[static_cast<std::size_t>(r)];
       if (order_ == simnet::ReplayOrder::kLogOrder) {
         // Admissible only when this flow is the earliest unreleased
@@ -214,10 +281,10 @@ class FlowSim {
     Flow& f = flows_[i];
     f.admitted = true;
     f.seg_start = now;
-    f.seg_sent = 0;
+    f.seg_sent = f.receivers_released ? f.payload : 0.0;
     f.rate = 0;  // assigned by Reallocate before any event math
     if (order_ != simnet::ReplayOrder::kLogOrder) {
-      for (const int r : touched(f)) {
+      for (const int r : needed(f)) {
         resources_[static_cast<std::size_t>(r)].occupied = true;
       }
     }
@@ -228,7 +295,9 @@ class FlowSim {
       // Admissions cannot enable other admissions (queues pop on
       // release only), so one pass in log order suffices.
       for (std::size_t i = 0; i < flows_.size(); ++i) {
-        if (!flows_[i].admitted && Admissible(i)) AdmitFlow(i, now);
+        if (!flows_[i].admitted && !flows_[i].done && Admissible(i, now)) {
+          AdmitFlow(i, now);
+        }
       }
     } else {
       // Sender-id order breaks simultaneous ties exactly like the
@@ -236,7 +305,11 @@ class FlowSim {
       for (std::size_t n = 0; n < sender_queue_.size(); ++n) {
         while (sender_head_[n] < sender_queue_[n].size()) {
           const std::size_t i = sender_queue_[n][sender_head_[n]];
-          if (!Admissible(i)) break;
+          if (flows_[i].admitted || flows_[i].done) {
+            ++sender_head_[n];  // stale entry from a pre-outage pass
+            continue;
+          }
+          if (!Admissible(i, now)) break;
           AdmitFlow(i, now);
           ++sender_head_[n];
         }
@@ -295,6 +368,8 @@ class FlowSim {
   const Topology& topo_;
   const bool full_duplex_;
   const simnet::ReplayOrder order_;
+  const LinkOutage outage_;
+  bool outage_hit_ = false;
   std::vector<Flow> flows_;
   std::vector<Resource> resources_;
   std::vector<std::vector<std::size_t>> sender_queue_;
@@ -302,32 +377,51 @@ class FlowSim {
 };
 
 double SerialNetMakespan(const simnet::TransmissionLog& log,
-                         const Topology& topo) {
-  double total = 0;
-  for (const auto& t : log) {
+                         const Topology& topo, const LinkOutage& outage,
+                         NetReplayStats* stats) {
+  if (stats != nullptr) stats->flow_end.assign(log.size(), 0.0);
+  double now = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& t = log[i];
     double rate = topo.access_bytes_per_sec;
     if (topo.crosses_core(t)) rate = std::min(rate, topo.core_bytes_per_sec);
     CTS_CHECK_GT(rate, 0.0);
-    total += static_cast<double>(t.bytes) *
-             MulticastPenalty(t, topo.multicast_log_coeff) / rate;
+    const double dur = static_cast<double>(t.bytes) *
+                       MulticastPenalty(t, topo.multicast_log_coeff) / rate;
+    double end = now + dur;
+    // The shared medium serves one transmission at a time in log
+    // order; a transmission touching the failed node that would
+    // overlap the outage window loses its progress and restarts
+    // (holding the medium — program order) once the node is back.
+    if (outage.active() && Touches(t, outage.node) && now < outage.end &&
+        end > outage.start) {
+      end = outage.end + dur;
+    }
+    if (stats != nullptr) {
+      stats->flow_end[i] = end;
+      stats->delivered_payload_bytes += static_cast<double>(t.bytes);
+    }
+    now = end;
   }
-  return total;
+  return now;
 }
 
 }  // namespace
 
 double NetMakespan(const simnet::TransmissionLog& log,
                    const Topology& topology, simnet::Discipline discipline,
-                   simnet::ReplayOrder order) {
+                   simnet::ReplayOrder order, const LinkOutage& outage,
+                   NetReplayStats* stats) {
   CTS_CHECK_GE(topology.num_nodes, 1);
+  if (stats != nullptr) *stats = NetReplayStats{};
   if (log.empty()) return 0;
   switch (discipline) {
     case simnet::Discipline::kSerial:
-      return SerialNetMakespan(log, topology);
+      return SerialNetMakespan(log, topology, outage, stats);
     case simnet::Discipline::kParallelHalfDuplex:
     case simnet::Discipline::kParallelFullDuplex: {
       const bool fd = discipline == simnet::Discipline::kParallelFullDuplex;
-      return FlowSim(log, topology, fd, order).Run();
+      return FlowSim(log, topology, fd, order, outage).Run(stats);
     }
   }
   CTS_CHECK_MSG(false, "unreachable discipline");

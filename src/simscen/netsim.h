@@ -26,19 +26,51 @@
 // accumulation (tests assert 1e-9 relative agreement).
 #pragma once
 
+#include <vector>
+
 #include "simnet/schedule.h"
 #include "simnet/transmission_log.h"
 #include "simscen/scenario.h"
 
 namespace cts::simscen {
 
+// A fail-stop outage as the network sees it: `node`'s links are frozen
+// during [start, end) (times on the replay clock; start may be
+// negative for an outage already in progress when the stage begins).
+// Transfers in flight on those links when the outage hits lose their
+// progress and are re-queued — they retransmit once the node is back
+// and their links come free again. Transfers not yet started that
+// touch the node simply cannot be admitted during the window.
+struct LinkOutage {
+  NodeId node = -1;
+  double start = 0;
+  double end = 0;
+
+  bool active() const { return node >= 0 && end > start && end > 0; }
+  bool covers(double t) const { return active() && t >= start && t < end; }
+};
+
+// Optional per-flow detail of one replay, for tests and invariants.
+struct NetReplayStats {
+  // Completion time of log entry i (payload at every receiver AND the
+  // sender's multicast stream tail drained).
+  std::vector<double> flow_end;
+  // Σ t.bytes over flows whose payload reached all receivers; a
+  // completed replay conserves bytes (== sum over the log).
+  double delivered_payload_bytes = 0;
+};
+
 // Makespan of `log` replayed on `topology` under a network discipline
 // and initiation order. Discipline::kSerial prices the paper's shared
 // medium: one transmission at a time, each at the minimum rate along
 // its path (access, and core if cross-rack); `order` is ignored there.
+// `outage` freezes one node's links for a window (see LinkOutage);
+// `stats`, if non-null, receives per-flow completion times.
 double NetMakespan(const simnet::TransmissionLog& log,
                    const Topology& topology,
                    simnet::Discipline discipline,
-                   simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder);
+                   simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder,
+                   const LinkOutage& outage = {},
+                   NetReplayStats* stats = nullptr);
 
 }  // namespace cts::simscen

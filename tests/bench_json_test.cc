@@ -1,0 +1,102 @@
+// Golden-schema test for the bench --json artifacts: JsonReport's
+// output must stay machine-parseable (CI archives it and
+// tools/bench_trend.py diffs consecutive runs), so the schema checker
+// in bench/bench_common.h validates what JsonReport writes and rejects
+// everything that would break the pipeline.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+
+namespace cts::bench {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// A JsonReport writing through the real --json=path flag path; the
+// file it produces must satisfy its own schema, required keys
+// included.
+TEST(BenchJsonSchema, JsonReportOutputValidates) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_json_schema_roundtrip.json";
+  const std::string flag = "--json=" + path;
+  char arg0[] = "bench_json_test";
+  std::string flag_copy = flag;
+  char* argv[] = {arg0, flag_copy.data()};
+  JsonReport json("demo", 2, argv);
+  ASSERT_TRUE(json.enabled());
+  json.add("terasort/total_s", 12.5);
+  json.add("coded_r3/total_s", 7.25);
+  json.add("regimes/coded_wins", 1.0);
+  ASSERT_TRUE(json.write());
+
+  const std::string content = ReadFile(path);
+  EXPECT_EQ(CheckBenchJsonSchema(content), "");
+  EXPECT_EQ(CheckBenchJsonSchema(
+                content, {"terasort/total_s", "coded_r3/total_s"}),
+            "");
+  // A key the artifact does not carry is reported by name.
+  const std::string err =
+      CheckBenchJsonSchema(content, {"missing/total_s"});
+  EXPECT_NE(err.find("missing/total_s"), std::string::npos) << err;
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonSchema, NonFiniteMetricsSerializeAsNull) {
+  const std::string path =
+      ::testing::TempDir() + "/bench_json_schema_null.json";
+  const std::string flag = "--json=" + path;
+  char arg0[] = "bench_json_test";
+  std::string flag_copy = flag;
+  char* argv[] = {arg0, flag_copy.data()};
+  JsonReport json("demo", 2, argv);
+  json.add("inf_metric", std::numeric_limits<double>::infinity());
+  ASSERT_TRUE(json.write());
+  const std::string content = ReadFile(path);
+  EXPECT_NE(content.find("null"), std::string::npos);
+  EXPECT_EQ(CheckBenchJsonSchema(content, {"inf_metric"}), "");
+  std::remove(path.c_str());
+}
+
+TEST(BenchJsonSchema, AcceptsTheDocumentedShapeDirectly) {
+  EXPECT_EQ(CheckBenchJsonSchema(
+                "{\n  \"bench\": \"scenarios\",\n"
+                "  \"a/total_s\": 1.5,\n  \"b\": null,\n"
+                "  \"c\": 1e-3\n}\n"),
+            "");
+  EXPECT_EQ(CheckBenchJsonSchema("{\"bench\":\"x\"}"), "");
+}
+
+TEST(BenchJsonSchema, RejectsSchemaViolations) {
+  // Not an object.
+  EXPECT_NE(CheckBenchJsonSchema("[]"), "");
+  // Missing the bench name.
+  EXPECT_NE(CheckBenchJsonSchema("{\"a\": 1}"), "");
+  // bench must be a string.
+  EXPECT_NE(CheckBenchJsonSchema("{\"bench\": 3}"), "");
+  // Metrics must be numbers or null.
+  EXPECT_NE(CheckBenchJsonSchema("{\"bench\": \"x\", \"a\": \"str\"}"), "");
+  EXPECT_NE(CheckBenchJsonSchema("{\"bench\": \"x\", \"a\": true}"), "");
+  // Duplicate keys would make the artifact ambiguous.
+  EXPECT_NE(
+      CheckBenchJsonSchema("{\"bench\": \"x\", \"a\": 1, \"a\": 2}"), "");
+  // Truncated / trailing garbage.
+  EXPECT_NE(CheckBenchJsonSchema("{\"bench\": \"x\""), "");
+  EXPECT_NE(CheckBenchJsonSchema("{\"bench\": \"x\"} extra"), "");
+  // Unquoted key.
+  EXPECT_NE(CheckBenchJsonSchema("{bench: \"x\"}"), "");
+}
+
+}  // namespace
+}  // namespace cts::bench

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "analytics/report.h"
+#include "common/random.h"
 #include "cmr/cmr.h"
 #include "codedterasort/coded_terasort.h"
 #include "driver/cluster.h"
@@ -203,6 +204,288 @@ TEST(NetMakespan, RealCodedTeraSortLogsMatchSimnet) {
     const AlgorithmResult result = RunCodedTeraSort(config);
     ExpectDegenerateMatch(result.shuffle_log, config.num_nodes);
   }
+}
+
+// ---- Straggler-sampler golden regression values ----
+//
+// The scenario sweeps publish numbers derived from these samplers; a
+// silent change to the ClusterProfile RNG (seeding, mixing, the
+// shifted-exponential transform) would shift every published cell.
+// These constants were produced by the shipped implementation — a
+// mismatch means the sampler changed, not that the test is stale.
+
+TEST(StragglerSamplers, ShiftedExpMatchesGoldenValues) {
+  ClusterProfile p = ClusterProfile::Homogeneous(4);
+  p.straggler.kind = StragglerKind::kShiftedExp;
+  p.straggler.shift = 1.0;
+  p.straggler.mean = 0.5;
+  p.straggler.seed = 2017;
+  const struct {
+    NodeId node;
+    int stage;
+    double factor;
+  } golden[] = {
+      {0, 0, 2.4843404255324195}, {0, 1, 1.2776713779528857},
+      {1, 0, 1.3586403296308975}, {1, 1, 1.365690649062504},
+      {2, 0, 1.7091230016346275}, {2, 1, 1.6057415058511517},
+  };
+  for (const auto& g : golden) {
+    EXPECT_NEAR(p.straggler_factor(g.node, g.stage), g.factor,
+                g.factor * 1e-12)
+        << "node " << g.node << " stage " << g.stage;
+  }
+  // Parameters and seed feed the draw.
+  p.straggler.seed = 7;
+  p.straggler.shift = 2.0;
+  p.straggler.mean = 1.5;
+  EXPECT_NEAR(p.straggler_factor(1, 3), 3.3508073399655709,
+              3.3508073399655709 * 1e-12);
+}
+
+TEST(StragglerSamplers, SlowNodeAndFailStopAreExact) {
+  ClusterProfile p = ClusterProfile::Homogeneous(3);
+  p.straggler.kind = StragglerKind::kSlowNode;
+  p.straggler.node = 1;
+  p.straggler.slowdown = 7.5;
+  EXPECT_DOUBLE_EQ(p.straggler_factor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.straggler_factor(1, 0), 7.5);
+  EXPECT_DOUBLE_EQ(p.straggler_factor(1, 5), 7.5);  // stage-independent
+  // Fail-stop is a time window applied by the engine, never a rate.
+  p.straggler.kind = StragglerKind::kFailStop;
+  p.straggler.fail_at = 1.0;
+  p.straggler.recovery = 100.0;
+  EXPECT_DOUBLE_EQ(p.straggler_factor(1, 0), 1.0);
+}
+
+// ---- NetMakespan properties over randomized topologies ----
+//
+// Two invariants over ~200 random (log, topology) pairs and every
+// discipline/order:
+//   * byte conservation — every payload byte in the log is delivered,
+//     and no flow outlives the reported makespan;
+//   * monotonicity in link rates — doubling every rate exactly halves
+//     the makespan (time is inverse-linear when the whole fabric
+//     scales), and widening one resource never hurts.
+
+simnet::TransmissionLog RandomLog(Xoshiro256& rng, int n) {
+  TransmissionLog log;
+  const int m = 1 + static_cast<int>(rng.below(24));
+  for (int i = 0; i < m; ++i) {
+    Transmission t;
+    t.src = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    const int fanout =
+        1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(n - 1)));
+    for (int d = 0; d < n && static_cast<int>(t.dsts.size()) < fanout; ++d) {
+      if (d != t.src && rng.below(2) == 0) {
+        t.dsts.push_back(d);
+      }
+    }
+    if (t.dsts.empty()) {
+      t.dsts.push_back(t.src == 0 ? 1 : 0);
+    }
+    t.bytes = 1 + rng.below(1000);
+    t.seq = static_cast<std::uint64_t>(i);
+    log.push_back(std::move(t));
+  }
+  return log;
+}
+
+Topology RandomTopology(Xoshiro256& rng, int n) {
+  Topology t;
+  t.num_nodes = n;
+  t.nodes_per_rack = 1 + static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(n)));
+  t.access_bytes_per_sec = 0.5 + 4.0 * rng.uniform();
+  t.core_bytes_per_sec = rng.below(2) == 0
+                             ? std::numeric_limits<double>::infinity()
+                             : 0.3 + 4.0 * rng.uniform();
+  t.multicast_log_coeff = rng.below(2) == 0 ? 0.0 : rng.uniform();
+  return t;
+}
+
+TEST(NetMakespanProperty, ConservesBytesAndIsMonotoneInLinkRates) {
+  Xoshiro256 rng(20260729);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(7));
+    const TransmissionLog log = RandomLog(rng, n);
+    const Topology topo = RandomTopology(rng, n);
+    double total_bytes = 0;
+    for (const auto& t : log) {
+      total_bytes += static_cast<double>(t.bytes);
+    }
+
+    for (const Discipline d : kAllDisciplines) {
+      for (const ReplayOrder o : kAllOrders) {
+        NetReplayStats stats;
+        const double makespan = NetMakespan(log, topo, d, o, {}, &stats);
+        ASSERT_GT(makespan, 0.0);
+
+        // Byte conservation: everything in the log was delivered and
+        // every flow finished within the makespan.
+        EXPECT_DOUBLE_EQ(stats.delivered_payload_bytes, total_bytes);
+        ASSERT_EQ(stats.flow_end.size(), log.size());
+        for (const double e : stats.flow_end) {
+          EXPECT_GT(e, 0.0);
+          EXPECT_LE(e, makespan * (1 + 1e-12));
+        }
+
+        // Scaling the whole fabric by 2 exactly halves the makespan
+        // (admission decisions are scale-free; rates divide by powers
+        // of two exactly).
+        Topology twice = topo;
+        twice.access_bytes_per_sec *= 2.0;
+        twice.core_bytes_per_sec *= 2.0;
+        EXPECT_NEAR(NetMakespan(log, twice, d, o), makespan / 2.0,
+                    makespan * 1e-12);
+
+        // Widening a single resource never hurts.
+        Topology wider_core = topo;
+        wider_core.core_bytes_per_sec *= 4.0;
+        EXPECT_LE(NetMakespan(log, wider_core, d, o),
+                  makespan * (1 + 1e-9));
+        Topology wider_access = topo;
+        wider_access.access_bytes_per_sec *= 2.0;
+        EXPECT_LE(NetMakespan(log, wider_access, d, o),
+                  makespan * (1 + 1e-9));
+      }
+    }
+  }
+}
+
+// ---- Network-stage outages (fail-stop during the shuffle) ----
+
+TEST(NetMakespanOutage, InFlightTransferLosesProgressAndRestartsAfter) {
+  // 10 B at rate 1 from node 0 to node 1; node 1 dies at t=5 with the
+  // transfer halfway. The 5 delivered-so-far bytes are lost and the
+  // whole payload retransmits once the node is back at t=20.
+  const TransmissionLog log{{0, {1}, 10, 0}};
+  LinkOutage outage{/*node=*/1, /*start=*/5.0, /*end=*/20.0};
+  for (const Discipline d :
+       {Discipline::kParallelFullDuplex, Discipline::kParallelHalfDuplex}) {
+    for (const ReplayOrder o : kAllOrders) {
+      NetReplayStats stats;
+      const double makespan =
+          NetMakespan(log, UnitRack(3), d, o, outage, &stats);
+      EXPECT_DOUBLE_EQ(makespan, 30.0) << static_cast<int>(d);
+      ASSERT_EQ(stats.flow_end.size(), 1u);
+      EXPECT_GE(stats.flow_end[0], outage.end);  // finishes after window
+      EXPECT_DOUBLE_EQ(stats.delivered_payload_bytes, 10.0);
+    }
+  }
+}
+
+TEST(NetMakespanOutage, FollowersOvertakeTheRequeuedTransfer) {
+  // A (0->1) is in flight when node 1 dies at t=5; re-queuing releases
+  // node 0's uplink, so B (0->2) — otherwise FIFO-blocked behind A —
+  // runs during the outage. A retransmits at t=50.
+  const TransmissionLog log{{0, {1}, 10, 0}, {0, {2}, 10, 1}};
+  LinkOutage outage{/*node=*/1, /*start=*/5.0, /*end=*/50.0};
+  for (const ReplayOrder o : kAllOrders) {
+    NetReplayStats stats;
+    const double makespan = NetMakespan(
+        log, UnitRack(3), Discipline::kParallelFullDuplex, o, outage, &stats);
+    EXPECT_DOUBLE_EQ(makespan, 60.0);
+    EXPECT_DOUBLE_EQ(stats.flow_end[0], 60.0);  // A: restarted at 50
+    EXPECT_DOUBLE_EQ(stats.flow_end[1], 15.0);  // B: overtook during outage
+    EXPECT_GE(stats.flow_end[0], outage.end);
+    EXPECT_DOUBLE_EQ(stats.delivered_payload_bytes, 20.0);
+  }
+}
+
+TEST(NetMakespanOutage, TransferToDeadNodeWaitsOutTheWindow) {
+  // The outage covers the stage start: nothing touching node 1 can be
+  // admitted until it lifts.
+  const TransmissionLog log{{0, {1}, 10, 0}};
+  LinkOutage outage{/*node=*/1, /*start=*/0.0, /*end=*/12.0};
+  for (const Discipline d :
+       {Discipline::kParallelFullDuplex, Discipline::kParallelHalfDuplex}) {
+    const double makespan = NetMakespan(log, UnitRack(2), d,
+                                        ReplayOrder::kLogOrder, outage);
+    EXPECT_DOUBLE_EQ(makespan, 22.0);
+  }
+}
+
+TEST(NetMakespanOutage, MulticastWithOneDeadReceiverRetransmits) {
+  // A fanout-2 multicast is in flight when one receiver dies: the
+  // whole payload re-queues and both receivers get it after the
+  // window (the replay treats a transmission as atomic).
+  const TransmissionLog log{{0, {1, 2}, 10, 0}};
+  LinkOutage outage{/*node=*/2, /*start=*/4.0, /*end=*/25.0};
+  NetReplayStats stats;
+  const double makespan =
+      NetMakespan(log, UnitRack(3), Discipline::kParallelFullDuplex,
+                  ReplayOrder::kLogOrder, outage, &stats);
+  EXPECT_DOUBLE_EQ(makespan, 35.0);
+  EXPECT_GE(stats.flow_end[0], outage.end);
+  EXPECT_DOUBLE_EQ(stats.delivered_payload_bytes, 10.0);
+}
+
+TEST(NetMakespanOutage, SerialMediumRestartsTheInterruptedTransfer) {
+  // Serial discipline, unit rate: the first transfer (0->1) overlaps
+  // the outage of node 0 and restarts at its end; the second holds
+  // the medium behind it (the paper's one-at-a-time program order).
+  const TransmissionLog log{{0, {1}, 10, 0}, {2, {1}, 5, 1}};
+  LinkOutage outage{/*node=*/0, /*start=*/5.0, /*end=*/12.0};
+  NetReplayStats stats;
+  const double makespan =
+      NetMakespan(log, UnitRack(3), Discipline::kSerial,
+                  ReplayOrder::kLogOrder, outage, &stats);
+  EXPECT_DOUBLE_EQ(stats.flow_end[0], 22.0);  // 12 + 10
+  EXPECT_DOUBLE_EQ(stats.flow_end[1], 27.0);
+  EXPECT_DOUBLE_EQ(makespan, 27.0);
+}
+
+TEST(NetMakespanOutage, WindowOutsideTheStageIsANoop) {
+  const TransmissionLog log{{0, {1}, 10, 0}, {1, {0}, 10, 1}};
+  for (const Discipline d : kAllDisciplines) {
+    const double base =
+        NetMakespan(log, UnitRack(2), d, ReplayOrder::kLogOrder);
+    // Already over when the stage starts (active() is false)...
+    EXPECT_DOUBLE_EQ(
+        NetMakespan(log, UnitRack(2), d, ReplayOrder::kLogOrder,
+                    LinkOutage{0, -10.0, 0.0}),
+        base);
+    // ...or strikes long after the last byte.
+    EXPECT_DOUBLE_EQ(
+        NetMakespan(log, UnitRack(2), d, ReplayOrder::kLogOrder,
+                    LinkOutage{0, 1000.0, 2000.0}),
+        base);
+    // A node not in the log is irrelevant however the window falls.
+    EXPECT_DOUBLE_EQ(
+        NetMakespan(log, UnitRack(3), d, ReplayOrder::kLogOrder,
+                    LinkOutage{2, 0.0, 1000.0}),
+        base);
+  }
+}
+
+TEST(ReplayScenario, FailStopDuringShuffleFreezesLinksAndRequeues) {
+  // Synthetic run: 2 s of Map, then a 10 B shuffle transfer 0->1 at
+  // unit rate. Node 1 dies at absolute t=4 (2 s into the shuffle, the
+  // transfer in flight) and recovers at t=14: the transfer restarts
+  // and the shuffle stage stretches from 10 s to 22 s.
+  ScenarioRun run;
+  run.algorithm = "synthetic";
+  run.num_nodes = 2;
+  run.stages.push_back({stage::kMap, StageKind::kCompute, {2.0, 2.0}});
+  run.stages.push_back({stage::kShuffle, StageKind::kNetwork, {}});
+  run.shuffle_log = {{0, {1}, 10, 0}};
+
+  Scenario s;
+  s.cluster = ClusterProfile::Homogeneous(2);
+  s.topology = UnitRack(2);
+  s.discipline = Discipline::kParallelFullDuplex;
+
+  const ScenarioOutcome base = ReplayScenario(run, s);
+  EXPECT_DOUBLE_EQ(base.spans[1].end, 12.0);
+
+  s.cluster.straggler.kind = StragglerKind::kFailStop;
+  s.cluster.straggler.node = 1;
+  s.cluster.straggler.fail_at = 4.0;
+  s.cluster.straggler.recovery = 10.0;
+  const ScenarioOutcome out = ReplayScenario(run, s);
+  // Stage-local: outage [2, 12); transfer restarts at 12, done at 22.
+  EXPECT_DOUBLE_EQ(out.spans[1].end, 24.0);
+  EXPECT_DOUBLE_EQ(out.makespan, 24.0);
 }
 
 // ---- Oversubscribed core ----

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Perf-trend checker for the bench --json artifacts.
+
+Diffs two consecutive BENCH_*.json files (the flat metric -> value
+objects every bench binary emits; see bench/bench_common.h) and fails
+when a makespan metric regresses beyond the threshold, so CI catches a
+perf regression in the scenario sweep the same way it catches a test
+failure.
+
+Usage:
+  bench_trend.py OLD.json NEW.json [--threshold 0.15] [--suffix total_s]
+  bench_trend.py --self-test
+
+Only keys ending in the suffix (default "total_s", the makespan
+metrics) gate the exit status; other shared numeric keys are reported
+informationally. Keys present in only one file are listed but never
+fail the check — sweeps are allowed to grow. Exit status: 0 ok,
+1 regression, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_trend: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if not isinstance(data, dict) or not isinstance(data.get("bench"), str):
+        print(f"bench_trend: {path} is not a bench JSON artifact "
+              "(flat object with a \"bench\" string)", file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for key, value in data.items():
+        if key == "bench":
+            continue
+        if value is None:
+            continue  # non-finite metric, serialized as null
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            print(f"bench_trend: {path}: metric {key!r} is not numeric",
+                  file=sys.stderr)
+            sys.exit(2)
+        metrics[key] = float(value)
+    return data["bench"], metrics
+
+
+def compare(old, new, threshold, suffix):
+    """Returns (regressions, report_lines) for two metric dicts."""
+    regressions = []
+    lines = []
+    shared = sorted(set(old) & set(new))
+    for key in shared:
+        o, n = old[key], new[key]
+        if o <= 0 or math.isclose(o, n, rel_tol=1e-12, abs_tol=1e-12):
+            delta = 0.0
+        else:
+            delta = (n - o) / o
+        gating = key.endswith(suffix)
+        flag = ""
+        if gating and delta > threshold:
+            regressions.append((key, o, n, delta))
+            flag = "  <-- REGRESSION"
+        elif not gating:
+            flag = "  (informational)"
+        lines.append(f"  {key}: {o:.6g} -> {n:.6g} ({delta:+.1%}){flag}")
+    for key in sorted(set(new) - set(old)):
+        lines.append(f"  {key}: (new metric, {new[key]:.6g})")
+    for key in sorted(set(old) - set(new)):
+        lines.append(f"  {key}: (removed)")
+    return regressions, lines
+
+
+def run_check(old_path, new_path, threshold, suffix):
+    old_name, old = load_metrics(old_path)
+    new_name, new = load_metrics(new_path)
+    if old_name != new_name:
+        print(f"bench_trend: comparing different benches "
+              f"({old_name!r} vs {new_name!r})", file=sys.stderr)
+        sys.exit(2)
+    regressions, lines = compare(old, new, threshold, suffix)
+    print(f"bench_trend: {old_name}: {len(lines)} metrics compared "
+          f"(threshold {threshold:.0%} on *{suffix})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_trend: {len(regressions)} makespan regression(s) "
+              f"beyond {threshold:.0%}:", file=sys.stderr)
+        for key, o, n, delta in regressions:
+            print(f"  {key}: {o:.6g} -> {n:.6g} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
+    print("bench_trend: OK")
+    return 0
+
+
+def self_test():
+    """Exercises the comparison logic without touching the filesystem."""
+    old = {"a/total_s": 10.0, "b/total_s": 10.0, "c/wasted_s": 1.0}
+
+    # Within threshold: ok (14% < 15%).
+    regs, _ = compare(old, {"a/total_s": 11.4, "b/total_s": 10.0,
+                            "c/wasted_s": 1.0}, 0.15, "total_s")
+    assert not regs, regs
+
+    # Beyond threshold on a gating key: regression.
+    regs, _ = compare(old, {"a/total_s": 11.6, "b/total_s": 10.0,
+                            "c/wasted_s": 1.0}, 0.15, "total_s")
+    assert [r[0] for r in regs] == ["a/total_s"], regs
+
+    # Non-gating keys never fail, however large the delta.
+    regs, _ = compare(old, {"a/total_s": 10.0, "b/total_s": 10.0,
+                            "c/wasted_s": 100.0}, 0.15, "total_s")
+    assert not regs, regs
+
+    # Improvements never fail.
+    regs, _ = compare(old, {"a/total_s": 1.0, "b/total_s": 10.0,
+                            "c/wasted_s": 1.0}, 0.15, "total_s")
+    assert not regs, regs
+
+    # Added/removed keys never fail.
+    regs, lines = compare(old, {"a/total_s": 10.0, "d/total_s": 99.0},
+                          0.15, "total_s")
+    assert not regs, regs
+    assert any("new metric" in l for l in lines), lines
+    assert any("removed" in l for l in lines), lines
+
+    # Zero baselines are treated as unchanged (no division blow-up).
+    regs, _ = compare({"z/total_s": 0.0}, {"z/total_s": 5.0},
+                      0.15, "total_s")
+    assert not regs, regs
+
+    print("bench_trend: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", nargs="?", help="previous BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="current BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed relative makespan growth "
+                             "(default 0.15)")
+    parser.add_argument("--suffix", default="total_s",
+                        help="metric-key suffix that gates the check "
+                             "(default total_s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded self-test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.old is None or args.new is None:
+        parser.error("OLD and NEW artifacts are required")
+    sys.exit(run_check(args.old, args.new, args.threshold, args.suffix))
+
+
+if __name__ == "__main__":
+    main()

@@ -34,8 +34,25 @@
 //                                     oversubscribed F:1  [single rack]
 //   --straggler=slow:NODE:FACTOR      one node FACTOR x slower
 //   --straggler=exp:SHIFT:MEAN[:SEED] shifted-exp factor per node/stage
-//   --straggler=failstop:T:REC[:NODE] node offline [T, T+REC)
+//   --straggler=failstop:T:REC[:NODE] node offline [T, T+REC); during
+//                                     the window the node's links are
+//                                     frozen and its in-flight shuffle
+//                                     transfers re-queue
 // The scenario network uses --discipline/--order (default serial/log).
+//
+// Straggler mitigation (src/mitigate):
+//   --mitigate=none|spec[:Q:T]|coded  policy: speculative re-execution
+//                                     (backups once a node runs past
+//                                     T x the Q-quantile completion;
+//                                     default 0.5:1.5) or K-of-N coded
+//                                     Map completion (exploits the r-
+//                                     replicated placement)
+//   --inject-delay=STAGE:NODE:SEC     live fault injection: that node
+//                                     really sleeps SEC inside STAGE
+// --mitigate evaluates the policy on the measured run's recorded stage
+// boundaries (the live StageRunner path) and, with --scenario, inside
+// the scenario replay — the same policy arithmetic either way.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -51,6 +68,7 @@
 #include "keyvalue/recordio.h"
 #include "keyvalue/teragen.h"
 #include "keyvalue/teravalidate.h"
+#include "mitigate/policy.h"
 #include "simscen/engine.h"
 #include "terasort/terasort.h"
 
@@ -225,6 +243,32 @@ simscen::StragglerModel ParseStraggler(const std::string& spec) {
   return m;
 }
 
+InjectedDelay ParseInjectDelay(const std::string& spec) {
+  const auto fields = SplitColons(spec);
+  if (fields.size() != 3) {
+    Flags::Fail("--inject-delay expects STAGE:NODE:SECONDS");
+  }
+  InjectedDelay d;
+  d.stage = fields[0];
+  d.node = ParseIndex(fields[1], "inject-delay");
+  d.seconds = ParseDouble(fields[2], "inject-delay");
+  // StageRunner matches the stage by exact name; a typo would silently
+  // inject nothing and invalidate the experiment.
+  const std::vector<std::string> known = {
+      stage::kCodeGen, stage::kMap,    stage::kPack,   stage::kEncode,
+      stage::kShuffle, stage::kUnpack, stage::kDecode, stage::kReduce};
+  if (std::find(known.begin(), known.end(), d.stage) == known.end()) {
+    std::string names;
+    for (const auto& n : known) names += (names.empty() ? "" : "|") + n;
+    Flags::Fail("--inject-delay stage '" + d.stage + "' is not one of " +
+                names);
+  }
+  if (d.seconds < 0) {
+    Flags::Fail("--inject-delay SECONDS must be >= 0");
+  }
+  return d;
+}
+
 // TeraValidate: global order + order-insensitive multiset checksum
 // against the generated input.
 ValidationReport Verify(const AlgorithmResult& result) {
@@ -278,6 +322,22 @@ int main(int argc, char** argv) {
   const std::uint64_t paper_records =
       flags.GetU64("paper-records", config.num_records);
   const bool verify = !flags.GetBool("no-verify");
+  const std::string inject_spec = flags.Get("inject-delay", "");
+  if (!inject_spec.empty()) {
+    InjectedDelay d = ParseInjectDelay(inject_spec);
+    if (d.node < 0 || d.node >= config.num_nodes) {
+      Flags::Fail("--inject-delay node out of range for --nodes=" +
+                  std::to_string(config.num_nodes));
+    }
+    config.injected_delays.push_back(std::move(d));
+  }
+  const std::string mitigate_spec = flags.Get("mitigate", "none");
+  const std::optional<mitigate::MitigationPolicy> mitigation =
+      mitigate::ParsePolicy(mitigate_spec);
+  if (!mitigation.has_value()) {
+    Flags::Fail("unknown --mitigate=" + mitigate_spec +
+                " (none | spec[:QUANTILE:TRIGGER] | coded)");
+  }
 
   // Replay / scenario options.
   const std::string discipline_spec = flags.Get("discipline", "");
@@ -313,6 +373,7 @@ int main(int argc, char** argv) {
     s.topology = ParseTopology(topology_spec, config.num_nodes);
     s.discipline = discipline;
     s.order = order;
+    s.mitigation = *mitigation;
     scenario = s;
   }
   flags.CheckAllConsumed();
@@ -396,9 +457,50 @@ int main(int argc, char** argv) {
     std::string title = "scenario projection (topology=" +
                         (topology_spec.empty() ? "single-rack"
                                                : topology_spec) +
-                        ", straggler=" + straggler_spec + ")";
+                        ", straggler=" + straggler_spec +
+                        ", mitigate=" + mitigate_spec + ")";
     BreakdownTable(title, scenario_rows).render(std::cout);
     spans.render(std::cout);
+  }
+
+  // ---- Mitigation on the measured run (--mitigate) ----
+  // The live StageRunner path: the recorded per-node stage boundaries
+  // (ComputeEvents, at executed scale — including any --inject-delay
+  // straggler that really ran) feed the same ReplayScenario + policy
+  // arithmetic the synthetic sweeps use.
+  if (mitigation->kind != mitigate::PolicyKind::kNone) {
+    TextTable t("mitigation on the measured run (executed scale, policy=" +
+                mitigate_spec + ")");
+    t.set_header({"Algorithm", "unmitigated (s)", "mitigated (s)",
+                  "wasted (s)", "backups", "abandoned"});
+    for (const AlgorithmResult& result : results) {
+      const simscen::ScenarioRun run = simscen::BuildScenarioRunFromEvents(
+          result.algorithm, config.num_nodes, result.stage_order,
+          result.compute_events, result.shuffle_log,
+          result.config.redundancy);
+      simscen::Scenario live;
+      live.cluster = simscen::ClusterProfile::Homogeneous(config.num_nodes);
+      live.topology = simscen::Topology::SingleRack(config.num_nodes);
+      live.discipline = discipline;
+      live.order = order;
+      const simscen::ScenarioOutcome plain =
+          simscen::ReplayScenario(run, live);
+      live.mitigation = *mitigation;
+      const simscen::ScenarioOutcome mitigated =
+          simscen::ReplayScenario(run, live);
+      int copies = 0;
+      int abandoned = 0;
+      for (const auto& span : mitigated.spans) {
+        copies += span.speculative_copies;
+        abandoned += span.abandoned_nodes;
+      }
+      t.add_row({result.algorithm, TextTable::Num(plain.makespan, 3),
+                 TextTable::Num(mitigated.makespan, 3),
+                 TextTable::Num(mitigated.wasted_seconds, 3),
+                 std::to_string(copies), std::to_string(abandoned)});
+    }
+    std::cout << '\n';
+    t.render(std::cout);
   }
   return 0;
 }
