@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
             << ") ===\n";
   PrintRunBanner(base);
 
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
+  const BenchPricing pricing = PaperPricing(base);
   const StageBreakdown baseline =
-      SimulateRun(RunTeraSort(base), CostModel{}, scale);
+      SimulateRun(RunTeraSort(base), pricing.model, pricing.scale);
   std::cout << "TeraSort shuffle: " << TextTable::Num(baseline.shuffle())
             << " s, total: " << TextTable::Num(baseline.total()) << " s\n\n";
 
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
     for (const double coeff : {0.0, 0.32, 0.64}) {
       CostModel model;
       model.multicast_log_coeff = coeff;
-      const StageBreakdown b = SimulateRun(result, model, scale);
+      const StageBreakdown b = SimulateRun(result, model, pricing.scale);
       json.add("r" + std::to_string(r) + "_coeff" +
                    TextTable::Num(coeff, 2) + "/total_s",
                b.total());
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     {
       CostModel model;
       model.multicast_log_coeff = 0.0;
-      StageBreakdown b = SimulateRun(result, model, scale);
+      StageBreakdown b = SimulateRun(result, model, pricing.scale);
       const double shuffle_unicast = b.shuffle() * r;
       const double total =
           b.total() - b.shuffle() + shuffle_unicast;

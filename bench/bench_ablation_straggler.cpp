@@ -56,8 +56,7 @@ int main(int argc, char** argv) {
   std::cout << "=== Ablation: one straggling node (K=" << K << ") ===\n";
   PrintRunBanner(base);
 
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-  const CostModel model;
+  const auto [model, scale] = PaperPricing(base);
 
   AlgorithmResult plain = RunTeraSort(base);
   SortConfig coded_cfg = base;

@@ -62,9 +62,21 @@ class JsonReport {
     }
   }
 
+  // Programmatic variant (no flag parsing): used by tools like ctsort
+  // whose flag surface is larger than --json, and by tests. An empty
+  // path disables the report like a missing --json flag would.
+  JsonReport(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
   bool enabled() const { return !path_.empty(); }
 
   void add(const std::string& key, double value) { metrics_[key] = value; }
+
+  // Bulk ingestion of an already-flat metric map (e.g.
+  // job::JobResult::metrics).
+  void add_all(const std::map<std::string, double>& metrics) {
+    for (const auto& [key, value] : metrics) add(key, value);
+  }
 
   // One metric per stage plus the total, prefixed "<algo>/".
   void add_breakdown(const std::string& prefix, const StageBreakdown& b) {
@@ -230,6 +242,22 @@ inline SortConfig BenchConfig(int K, int r, std::uint64_t default_records) {
                             ? KeyDistribution::kUniform
                             : KeyDistribution::kBalanced;
   return config;
+}
+
+// The calibrated-testbed pricing every bench uses: the EC2 CostModel
+// plus the RunScale mapping the executed record count to the reported
+// paper workload. One helper instead of the same two lines at the top
+// of every bench main.
+struct BenchPricing {
+  CostModel model;
+  RunScale scale;
+};
+
+inline BenchPricing PaperPricing(const SortConfig& config,
+                                 std::uint64_t reported_records =
+                                     kPaperRecords) {
+  return BenchPricing{CostModel{},
+                      PaperScale(config.num_records, reported_records)};
 }
 
 // One row of a paper table (seconds; <0 marks a non-existent cell).

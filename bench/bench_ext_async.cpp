@@ -75,8 +75,7 @@ int main(int argc, char** argv) {
             << ") ===\n";
   PrintRunBanner(base);
 
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-  const CostModel model;
+  const auto [model, scale] = PaperPricing(base);
 
   const AlgorithmResult plain = RunTeraSort(base);
   SortConfig coded_cfg = base;

@@ -32,8 +32,7 @@ int main(int argc, char** argv) {
                "(K=" << K << ") ===\n";
   PrintRunBanner(base);
 
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-  const CostModel model;
+  const auto [model, scale] = PaperPricing(base);
   const StageBreakdown baseline =
       SimulateRun(RunTeraSort(base), model, scale);
   std::cout << "TeraSort total: " << TextTable::Num(baseline.total())

@@ -11,6 +11,12 @@
 //           C(K, r) placement: the Map barrier tolerates r-1
 //           stragglers at zero extra traffic.
 //
+// The sweep is a JobMatrix (src/job): 3 algorithm cells × 6 straggler
+// scenarios × 3 policies = 54 cells replayed off 3 memoized live
+// executions. Straggler scenarios are built from the same textual
+// specs ctsort accepts (job::ParseStraggler), so a sweep cell and a
+// CLI invocation mean the same experiment.
+//
 // The headline regime: under a fail-stop outage that ends before the
 // post-Map stages need the node, the coded barrier releases the
 // instant K-r+1 nodes finish — beating both no-mitigation (which
@@ -28,14 +34,12 @@
 #include <string>
 #include <vector>
 
-#include "analytics/report.h"
 #include "bench/bench_common.h"
-#include "codedterasort/coded_terasort.h"
 #include "common/check.h"
 #include "common/table.h"
+#include "job/matrix.h"
+#include "job/parse.h"
 #include "mitigate/policy.h"
-#include "simscen/engine.h"
-#include "terasort/terasort.h"
 
 namespace {
 
@@ -57,60 +61,41 @@ int main(int argc, char** argv) {
             << ") ===\n";
   PrintRunBanner(base);
 
-  const CostModel model;
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-
-  // One execution per algorithm; every cell below is a replay.
-  struct Algo {
-    std::string key;
-    simscen::ScenarioRun run;
-  };
-  std::vector<Algo> algos;
-  algos.push_back(
-      {"terasort", simscen::BuildScenarioRun(RunTeraSort(base), model, scale)});
+  job::JobMatrix matrix;
+  matrix.backend = job::Backend::kReplay;
+  matrix.paper_records = kPaperRecords;
+  matrix.algos.push_back({"terasort", "terasort", base});
   for (const int r : {3, 5}) {
     SortConfig config = base;
     config.redundancy = r;
-    algos.push_back({"coded_r" + std::to_string(r),
-                     simscen::BuildScenarioRun(RunCodedTeraSort(config),
-                                               model, scale)});
+    matrix.algos.push_back({"coded_r" + std::to_string(r), "coded", config});
   }
 
-  struct Straggler {
-    std::string key;
-    simscen::StragglerModel model;
-  };
-  std::vector<Straggler> stragglers;
-  stragglers.push_back({"healthy", {}});
-  {
-    simscen::StragglerModel m;
-    m.kind = simscen::StragglerKind::kSlowNode;
-    m.node = 0;
-    m.slowdown = 4.0;
-    stragglers.push_back({"slow4", m});
-  }
-  {
-    simscen::StragglerModel m;
-    m.kind = simscen::StragglerKind::kShiftedExp;
-    m.shift = 1.0;
-    m.mean = 0.5;
-    stragglers.push_back({"exp1_05", m});
-  }
-  // Fail-stop outages of growing length, all striking 2 s into the
-  // run (inside every algorithm's Map, which spans ~11-90 s at paper
+  // Straggler axis, described in the shared ctsort spec syntax. The
+  // fail-stop outages grow in length, all striking 2 s into the run
+  // (inside every algorithm's Map, which spans ~11-90 s at paper
   // scale): the shortest outage ends while the Map is still running —
   // the node rejoins before any later barrier needs it, so the coded
   // Map absorbs the failure outright. The sweep then walks the outage
   // past the Map end, where the un-droppable later-stage barriers
   // take over and the winner flips.
-  for (const double recovery : {8.0, 60.0, 1200.0}) {
-    simscen::StragglerModel m;
-    m.kind = simscen::StragglerKind::kFailStop;
-    m.node = 0;
-    m.fail_at = 2.0;
-    m.recovery = recovery;
-    stragglers.push_back(
-        {"fail" + std::to_string(static_cast<int>(recovery)), m});
+  const std::vector<std::pair<std::string, std::string>> stragglers = {
+      {"healthy", "none"},
+      {"slow4", "slow:0:4"},
+      {"exp1_05", "exp:1:0.5"},
+      {"fail8", "failstop:2:8:0"},
+      {"fail60", "failstop:2:60:0"},
+      {"fail1200", "failstop:2:1200:0"},
+  };
+  for (const auto& [label, spec] : stragglers) {
+    std::string error;
+    const auto model = job::ParseStraggler(spec, K, &error);
+    CTS_CHECK_MSG(model.has_value(), "bad straggler spec: " << error);
+    simscen::Scenario scenario = simscen::Scenario::Baseline(K);
+    scenario.cluster.straggler = *model;
+    scenario.discipline = simnet::Discipline::kParallelFullDuplex;
+    scenario.order = simnet::ReplayOrder::kPerSender;
+    matrix.scenarios.push_back({label, scenario});
   }
 
   const std::vector<mitigate::MitigationPolicy> policies = {
@@ -118,6 +103,13 @@ int main(int argc, char** argv) {
       mitigate::MitigationPolicy::Speculative(),
       mitigate::MitigationPolicy::CodedMap(),
   };
+  for (const auto& policy : policies) {
+    matrix.policies.push_back({mitigate::PolicyName(policy.kind), policy});
+  }
+
+  // Three live executions; 54 replayed cells.
+  const job::MatrixResults results = job::RunMatrix(matrix);
+  CTS_CHECK_EQ(results.executions(), static_cast<int>(matrix.algos.size()));
 
   TextTable table(
       "paper-scale makespan (s) per mitigation policy; waste in "
@@ -126,29 +118,19 @@ int main(int argc, char** argv) {
                     "winner"});
 
   std::map<std::string, std::map<std::string, std::vector<Cell>>> cells;
-  for (const auto& strag : stragglers) {
-    for (const auto& algo : algos) {
+  for (const auto& strag : matrix.scenarios) {
+    for (const auto& algo : matrix.algos) {
       std::vector<Cell> row;
       std::vector<std::string> rendered;
       std::size_t best = 0;
-      for (std::size_t p = 0; p < policies.size(); ++p) {
-        simscen::Scenario scenario;
-        scenario.cluster = simscen::ClusterProfile::Homogeneous(K);
-        scenario.cluster.straggler = strag.model;
-        scenario.topology = simscen::Topology::SingleRack(K);
-        scenario.discipline = simnet::Discipline::kParallelFullDuplex;
-        scenario.order = simnet::ReplayOrder::kPerSender;
-        scenario.mitigation = policies[p];
-
-        const simscen::ScenarioOutcome out =
-            simscen::ReplayScenario(algo.run, scenario);
-        Cell cell{out.makespan, out.wasted_seconds};
-        const std::string policy_key =
-            mitigate::PolicyName(policies[p].kind);
-        json.add(strag.key + "/" + algo.key + "/" + policy_key +
+      for (const auto& policy : matrix.policies) {
+        const job::JobResult& result =
+            results.at(algo.label, strag.label, policy.label);
+        Cell cell{result.makespan, result.wasted_seconds};
+        json.add(strag.label + "/" + algo.label + "/" + policy.label +
                      "_total_s",
                  cell.total);
-        json.add(strag.key + "/" + algo.key + "/" + policy_key +
+        json.add(strag.label + "/" + algo.label + "/" + policy.label +
                      "_wasted_s",
                  cell.wasted);
         std::string text = TextTable::Num(cell.total);
@@ -161,10 +143,9 @@ int main(int argc, char** argv) {
       for (std::size_t p = 0; p < row.size(); ++p) {
         if (row[p].total < row[best].total) best = p;
       }
-      table.add_row({strag.key, algo.key, rendered[0], rendered[1],
-                     rendered[2],
-                     mitigate::PolicyName(policies[best].kind)});
-      cells[strag.key][algo.key] = row;
+      table.add_row({strag.label, algo.label, rendered[0], rendered[1],
+                     rendered[2], matrix.policies[best].label});
+      cells[strag.label][algo.label] = row;
     }
   }
   table.render(std::cout);
@@ -174,8 +155,8 @@ int main(int argc, char** argv) {
 
   // Healthy cluster: no policy may hurt (equal-split stages mean no
   // node is late enough to trigger anything).
-  for (const auto& algo : algos) {
-    const auto& row = cells["healthy"][algo.key];
+  for (const auto& algo : matrix.algos) {
+    const auto& row = cells["healthy"][algo.label];
     CTS_CHECK_LE(row[1].total, row[0].total * 1.0001);
     CTS_CHECK_LE(row[2].total, row[0].total * 1.0001);
   }

@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
                "III-B) ===\n";
   PrintRunBanner(config);
 
-  const RunScale scale = PaperScale(config.num_records, kPaperRecords);
+  const BenchPricing pricing = PaperPricing(config);
   const StageBreakdown b =
-      SimulateRun(RunTeraSort(config), CostModel{}, scale);
+      SimulateRun(RunTeraSort(config), pricing.model, pricing.scale);
 
   const MapReduceTimes t{.map = b.stage(stage::kMap),
                          .shuffle = b.shuffle(),

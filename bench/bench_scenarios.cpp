@@ -12,6 +12,11 @@
 //     restores it (CodedTeraSort moves ~r× fewer bytes through the
 //     core and wins when it is scarce).
 //
+// The sweep goes through the Job API (src/job): a JobMatrix of 3
+// algorithm cells × 16 scenario cells, where the RunCache memoizes the
+// live thread-harness execution per (algorithm, r) — 48 replayed cells
+// off 3 executions.
+//
 // The network is a parallel full-duplex fabric with per-sender
 // initiation (the asynchronous setting of paper Section VI), 2 nodes
 // per rack. Totals are paper-scale seconds; `--json` records every
@@ -20,12 +25,9 @@
 #include <string>
 #include <vector>
 
-#include "analytics/report.h"
 #include "bench/bench_common.h"
-#include "codedterasort/coded_terasort.h"
 #include "common/table.h"
-#include "simscen/engine.h"
-#include "terasort/terasort.h"
+#include "job/matrix.h"
 
 namespace {
 
@@ -43,26 +45,42 @@ int main(int argc, char** argv) {
             << K << ", " << kNodesPerRack << " nodes/rack) ===\n";
   PrintRunBanner(base);
 
-  const CostModel model;
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-
-  // One execution per algorithm; every scenario below is a replay.
-  struct Algo {
-    std::string key;
-    AlgorithmResult result;
-  };
-  std::vector<Algo> algos;
-  algos.push_back({"terasort", RunTeraSort(base)});
+  job::JobMatrix matrix;
+  matrix.backend = job::Backend::kReplay;
+  matrix.paper_records = kPaperRecords;
+  matrix.algos.push_back({"terasort", "terasort", base});
   for (const int r : {3, 5}) {
     SortConfig config = base;
     config.redundancy = r;
-    algos.push_back({"coded_r" + std::to_string(r),
-                     RunCodedTeraSort(config)});
+    matrix.algos.push_back({"coded_r" + std::to_string(r), "coded", config});
   }
-  std::vector<simscen::ScenarioRun> runs;
-  for (const auto& a : algos) {
-    runs.push_back(simscen::BuildScenarioRun(a.result, model, scale));
+
+  const std::vector<double> slowdowns = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> oversubs = {0.0, 4.0, 16.0, 64.0};  // 0 = no racks
+  for (const double slowdown : slowdowns) {
+    for (const double oversub : oversubs) {
+      simscen::Scenario scenario = simscen::Scenario::Baseline(K);
+      if (slowdown > 1.0) {
+        scenario.cluster.straggler.kind = simscen::StragglerKind::kSlowNode;
+        scenario.cluster.straggler.node = 0;
+        scenario.cluster.straggler.slowdown = slowdown;
+      }
+      if (oversub > 0.0) {
+        scenario.topology =
+            simscen::Topology::Oversubscribed(K, kNodesPerRack, oversub);
+      }
+      scenario.discipline = simnet::Discipline::kParallelFullDuplex;
+      scenario.order = simnet::ReplayOrder::kPerSender;
+      matrix.scenarios.push_back(
+          {"slow" + TextTable::Num(slowdown, 0) + "_over" +
+               TextTable::Num(oversub, 0),
+           scenario});
+    }
   }
+
+  // One execution per algorithm; every cell is a replay of it.
+  const job::MatrixResults results = job::RunMatrix(matrix);
+  CTS_CHECK_EQ(results.executions(), static_cast<int>(matrix.algos.size()));
 
   TextTable table(
       "paper-scale makespan (s): parallel full-duplex fabric, "
@@ -72,31 +90,17 @@ int main(int argc, char** argv) {
 
   int terasort_wins = 0;
   int coded_wins = 0;
-  for (const double slowdown : {1.0, 2.0, 4.0, 8.0}) {
-    for (const double oversub : {0.0, 4.0, 16.0, 64.0}) {  // 0 = no racks
-      simscen::Scenario scenario;
-      scenario.cluster = simscen::ClusterProfile::Homogeneous(K);
-      if (slowdown > 1.0) {
-        scenario.cluster.straggler.kind = simscen::StragglerKind::kSlowNode;
-        scenario.cluster.straggler.node = 0;
-        scenario.cluster.straggler.slowdown = slowdown;
-      }
-      scenario.topology =
-          oversub > 0.0
-              ? simscen::Topology::Oversubscribed(K, kNodesPerRack, oversub)
-              : simscen::Topology::SingleRack(K);
-      scenario.discipline = simnet::Discipline::kParallelFullDuplex;
-      scenario.order = simnet::ReplayOrder::kPerSender;
-
+  for (const double slowdown : slowdowns) {
+    for (const double oversub : oversubs) {
       const std::string cell = "slow" + TextTable::Num(slowdown, 0) +
                                "_over" + TextTable::Num(oversub, 0);
       std::vector<double> totals;
       std::size_t best = 0;
-      for (std::size_t i = 0; i < runs.size(); ++i) {
+      for (std::size_t i = 0; i < matrix.algos.size(); ++i) {
         const double t =
-            simscen::ReplayScenario(runs[i], scenario).makespan;
+            results.at(matrix.algos[i].label, cell).makespan;
         totals.push_back(t);
-        json.add(cell + "/" + algos[i].key + "_total_s", t);
+        json.add(cell + "/" + matrix.algos[i].label + "_total_s", t);
         if (t < totals[best]) best = i;
       }
       if (best == 0) {

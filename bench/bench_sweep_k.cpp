@@ -1,16 +1,18 @@
 // Section V-C trend: "the impact of worker number K".
 //
-// Sweeps K at fixed r = 3. The paper observes the speedup decreases
-// with K: (1) C(K, r+1) multicast groups make CodeGen longer, and
-// (2) with more nodes each node maps a smaller fraction of the data,
-// so less is locally available and relatively more must be shuffled.
+// Sweeps K at fixed r = 3 through the Job API: one JobMatrix whose
+// algorithm axis carries a (TeraSort, CodedTeraSort) pair per K,
+// evaluated by the priced backend. The paper observes the speedup
+// decreases with K: (1) C(K, r+1) multicast groups make CodeGen
+// longer, and (2) with more nodes each node maps a smaller fraction of
+// the data, so less is locally available and relatively more must be
+// shuffled.
 #include <iostream>
 
-#include "analytics/report.h"
 #include "bench/bench_common.h"
-#include "codedterasort/coded_terasort.h"
+#include "combinatorics/subsets.h"
 #include "common/table.h"
-#include "terasort/terasort.h"
+#include "job/matrix.h"
 
 int main(int argc, char** argv) {
   using namespace cts;
@@ -18,23 +20,32 @@ int main(int argc, char** argv) {
 
   JsonReport json("sweep_k", argc, argv);
   const int r = 3;
+  const std::vector<int> ks = {8, 12, 16, 20};
   std::cout << "=== Sweep: speedup vs cluster size K (r=" << r << ") ===\n\n";
+
+  job::JobMatrix matrix;
+  matrix.backend = job::Backend::kPriced;
+  matrix.paper_records = kPaperRecords;
+  for (const int K : ks) {
+    const SortConfig base = BenchConfig(K, 1, 600'000);
+    SortConfig coded = base;
+    coded.redundancy = r;
+    matrix.algos.push_back(
+        {"terasort_K" + std::to_string(K), "terasort", base});
+    matrix.algos.push_back({"coded_K" + std::to_string(K), "coded", coded});
+  }
+  const job::MatrixResults results = job::RunMatrix(matrix);
 
   TextTable table("paper-scale totals vs K");
   table.set_header({"K", "groups", "TeraSort total", "Coded total",
                     "CodeGen", "Speedup"});
   double prev_speedup = 1e9;
   bool monotone = true;
-  for (const int K : {8, 12, 16, 20}) {
-    const SortConfig base = BenchConfig(K, 1, 600'000);
-    const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-    const CostModel model;
-    const StageBreakdown baseline =
-        SimulateRun(RunTeraSort(base), model, scale);
-    SortConfig coded = base;
-    coded.redundancy = r;
-    const StageBreakdown b =
-        SimulateRun(RunCodedTeraSort(coded), model, scale);
+  for (const int K : ks) {
+    const StageBreakdown& baseline =
+        results.at("terasort_K" + std::to_string(K)).breakdown;
+    const StageBreakdown& b =
+        results.at("coded_K" + std::to_string(K)).breakdown;
     const double speedup = baseline.total() / b.total();
     if (speedup > prev_speedup) monotone = false;
     prev_speedup = speedup;

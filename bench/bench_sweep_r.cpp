@@ -1,18 +1,19 @@
 // Section V-C trend: "the impact of redundancy parameter r".
 //
-// Sweeps r at fixed K = 20 and reports the paper-scale totals. The
-// paper observes: shuffle time drops ~r-fold, Map grows linearly,
-// CodeGen grows as C(K, r+1) — so speedup rises for small r and falls
-// once CodeGen dominates (the paper limits r <= 5 for this reason).
-// K = 20 is used because its C(K, r+1) keeps growing through r = 9,
-// which is exactly the regime where the paper's observation bites.
+// Sweeps r at fixed K = 20 through the Job API (one priced JobMatrix;
+// the TeraSort baseline and every coded r are cells of the same
+// sweep) and reports the paper-scale totals. The paper observes:
+// shuffle time drops ~r-fold, Map grows linearly, CodeGen grows as
+// C(K, r+1) — so speedup rises for small r and falls once CodeGen
+// dominates (the paper limits r <= 5 for this reason). K = 20 is used
+// because its C(K, r+1) keeps growing through r = 9, which is exactly
+// the regime where the paper's observation bites.
 #include <iostream>
 
-#include "analytics/report.h"
 #include "bench/bench_common.h"
-#include "codedterasort/coded_terasort.h"
+#include "combinatorics/subsets.h"
 #include "common/table.h"
-#include "terasort/terasort.h"
+#include "job/matrix.h"
 
 int main(int argc, char** argv) {
   using namespace cts;
@@ -24,10 +25,18 @@ int main(int argc, char** argv) {
   std::cout << "=== Sweep: speedup vs redundancy r (K=" << K << ") ===\n";
   PrintRunBanner(base);
 
-  const RunScale scale = PaperScale(base.num_records, kPaperRecords);
-  const CostModel model;
-  const StageBreakdown baseline =
-      SimulateRun(RunTeraSort(base), model, scale);
+  const std::vector<int> rs = {1, 2, 3, 4, 5, 6, 7};
+  job::JobMatrix matrix;
+  matrix.backend = job::Backend::kPriced;
+  matrix.paper_records = kPaperRecords;
+  matrix.algos.push_back({"terasort", "terasort", base});
+  for (const int r : rs) {
+    SortConfig config = base;
+    config.redundancy = r;
+    matrix.algos.push_back({"coded_r" + std::to_string(r), "coded", config});
+  }
+  const job::MatrixResults results = job::RunMatrix(matrix);
+  const StageBreakdown& baseline = results.at("terasort").breakdown;
 
   TextTable table("paper-scale totals vs r (TeraSort total: " +
                   TextTable::Num(baseline.total()) + " s)");
@@ -35,11 +44,9 @@ int main(int argc, char** argv) {
                     "Total", "Speedup"});
   double best_speedup = 0;
   int best_r = 0;
-  for (const int r : {1, 2, 3, 4, 5, 6, 7}) {
-    SortConfig config = base;
-    config.redundancy = r;
-    const StageBreakdown b =
-        SimulateRun(RunCodedTeraSort(config), model, scale);
+  for (const int r : rs) {
+    const StageBreakdown& b =
+        results.at("coded_r" + std::to_string(r)).breakdown;
     const double speedup = baseline.total() / b.total();
     if (speedup > best_speedup) {
       best_speedup = speedup;

@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   PaperTable("paper (Table I)", paper).render(std::cout);
 
   const AlgorithmResult result = RunTeraSort(config);
-  const RunScale scale = PaperScale(config.num_records, kPaperRecords);
-  const StageBreakdown repro = SimulateRun(result, CostModel{}, scale);
+  const BenchPricing pricing = PaperPricing(config);
+  const StageBreakdown repro =
+      SimulateRun(result, pricing.model, pricing.scale);
   BreakdownTable("reproduced", {repro}).render(std::cout);
 
   const double shuffle_share = repro.shuffle() / repro.total();

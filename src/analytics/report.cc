@@ -175,15 +175,39 @@ StageBreakdown SimulateRun(const AlgorithmResult& result,
   return out;
 }
 
+StageBreakdown MeasuredBreakdown(const AlgorithmResult& result) {
+  StageBreakdown out;
+  out.algorithm = result.algorithm;
+  for (const std::string& name : result.stage_order) {
+    const auto it = result.wall_seconds.find(name);
+    out.stages.push_back(
+        {name, it == result.wall_seconds.end() ? 0.0 : it->second});
+  }
+  return out;
+}
+
 double ReplayShuffleSeconds(const AlgorithmResult& result,
                             const CostModel& model, const RunScale& scale,
-                            ShuffleSchedule schedule,
+                            simnet::Discipline discipline,
                             simnet::ReplayOrder order) {
   const ShuffleScaling s = ComputeShuffleScaling(result, model, scale);
   simnet::LinkModel link;
   link.bytes_per_sec = model.effective_link_rate();
   // The replay applies the fan-out penalty per transmission.
   link.multicast_log_coeff = model.multicast_log_coeff;
+  // s.correction maps measured bytes to paper-scale bytes; time is
+  // linear in bytes for a fixed schedule shape, so it applies to the
+  // replayed seconds directly.
+  return simnet::ReplayMakespan(result.shuffle_log, link,
+                                result.config.num_nodes, discipline,
+                                order) *
+         s.correction;
+}
+
+double ReplayShuffleSeconds(const AlgorithmResult& result,
+                            const CostModel& model, const RunScale& scale,
+                            ShuffleSchedule schedule,
+                            simnet::ReplayOrder order) {
   simnet::Discipline discipline = simnet::Discipline::kSerial;
   switch (schedule) {
     case ShuffleSchedule::kSerial:
@@ -196,13 +220,7 @@ double ReplayShuffleSeconds(const AlgorithmResult& result,
       discipline = simnet::Discipline::kParallelFullDuplex;
       break;
   }
-  // s.correction maps measured bytes to paper-scale bytes; time is
-  // linear in bytes for a fixed schedule shape, so it applies to the
-  // replayed seconds directly.
-  return simnet::ReplayMakespan(result.shuffle_log, link,
-                                result.config.num_nodes, discipline,
-                                order) *
-         s.correction;
+  return ReplayShuffleSeconds(result, model, scale, discipline, order);
 }
 
 TextTable BreakdownTable(const std::string& title,

@@ -93,6 +93,12 @@ StageBreakdown SimulateRun(const AlgorithmResult& result,
                            const CostModel& model, const RunScale& scale,
                            ShuffleSchedule schedule = ShuffleSchedule::kSerial);
 
+// Executed-scale breakdown straight from the measured wall clocks (no
+// cost model): one row per executed stage, in execution order. The
+// job API's kLive backend and any engine without NodeWork counters
+// (e.g. CMR) report through this.
+StageBreakdown MeasuredBreakdown(const AlgorithmResult& result);
+
 // Prices the shuffle stage by discrete-event replay of the measured
 // transmission log (simnet::ReplayMakespan) instead of the closed
 // forms, scaled to paper bytes with the same correction the closed
@@ -107,6 +113,14 @@ StageBreakdown SimulateRun(const AlgorithmResult& result,
 double ReplayShuffleSeconds(
     const AlgorithmResult& result, const CostModel& model,
     const RunScale& scale, ShuffleSchedule schedule,
+    simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder);
+
+// Same replay addressed by the simnet discipline directly (callers
+// that parsed a --discipline flag need no round-trip through
+// ShuffleSchedule).
+double ReplayShuffleSeconds(
+    const AlgorithmResult& result, const CostModel& model,
+    const RunScale& scale, simnet::Discipline discipline,
     simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder);
 
 // Renders breakdowns as a paper-style table: one row per run, columns

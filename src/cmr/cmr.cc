@@ -72,7 +72,7 @@ CmrResult RunCmr(const CmrApp& app, const CmrConfig& config) {
 
   const auto program = [&](simmpi::Comm& comm, RunRecorder& rec) {
     const NodeId self = comm.my_global();
-    StageRunner stages(comm.world(), comm, rec, &config.injected_delays);
+    StageRunner stages(comm, rec, &config.injected_delays);
     using IvKey = std::pair<NodeId, FileId>;
 
     // ---- CodeGen (coded mode only) ----

@@ -51,7 +51,7 @@ void CodedTeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
     partitioner = MakePartitioner(config);
   }
 
-  StageRunner stages(comm.world(), comm, recorder, &config.injected_delays);
+  StageRunner stages(comm, recorder, &config.injected_delays);
   NodeWork work;
 
   // ---- CodeGen: one communicator per multicast group ----

@@ -121,6 +121,39 @@ using NodeProgram =
 void RunOnCluster(simmpi::World& world, RunRecorder& recorder,
                   const NodeProgram& program);
 
+// Scoped timer for one stage body on one node: on destruction it
+// records BOTH RunRecorder entries — the wall time and the
+// ComputeEvent boundary — which are meaningless apart (the scenario
+// engine replays events, the tables print walls, and a stage recorded
+// in one but not the other would silently diverge the two views).
+// Owning the pairing here keeps the node programs unable to forget
+// half of it.
+class StageTimer {
+ public:
+  // `run_clock_start` anchors the event on the node's local run clock
+  // (seconds since the node program started its StageRunner).
+  StageTimer(RunRecorder& recorder, std::string stage, NodeId node,
+             double run_clock_start)
+      : recorder_(recorder), stage_(std::move(stage)), node_(node),
+        start_(run_clock_start) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    const double seconds = watch_.elapsed();
+    recorder_.record_wall(stage_, node_, seconds);
+    recorder_.record_event(stage_, node_, start_, start_ + seconds);
+  }
+
+ private:
+  RunRecorder& recorder_;
+  std::string stage_;
+  NodeId node_;
+  double start_;
+  Stopwatch watch_;
+};
+
 // Stage sequencing helper used inside node programs. Stages execute
 // under a barrier-delimited protocol: everyone finishes the previous
 // stage, rank 0 labels the traffic stats, everyone starts — matching
@@ -132,24 +165,20 @@ class StageRunner {
   // stage body, so measured wall times and ComputeEvents exhibit the
   // straggler — the substrate the mitigation layer (src/mitigate) is
   // evaluated against on live runs.
-  StageRunner(simmpi::World& world, simmpi::Comm& world_comm,
-              RunRecorder& recorder,
+  StageRunner(simmpi::Comm& world_comm, RunRecorder& recorder,
               const std::vector<InjectedDelay>* injected_delays = nullptr)
-      : world_(world), comm_(world_comm), recorder_(recorder),
+      : comm_(world_comm), recorder_(recorder),
         injected_delays_(injected_delays) {}
 
   template <typename Fn>
   void run(const std::string& name, Fn&& body) {
     comm_.barrier();  // previous stage fully drained
-    if (comm_.rank() == 0) world_.stats().set_stage(name);
+    if (comm_.rank() == 0) comm_.world().stats().set_stage(name);
     comm_.barrier();  // label visible before any traffic
-    const double start = run_clock_.elapsed();
-    Stopwatch watch;
+    const StageTimer timer(recorder_, name, comm_.my_global(),
+                           run_clock_.elapsed());
     body();
-    inject_delay(name);
-    const double seconds = watch.elapsed();
-    recorder_.record_wall(name, comm_.my_global(), seconds);
-    recorder_.record_event(name, comm_.my_global(), start, start + seconds);
+    inject_delay(name);  // inside the timer scope: the sleep is measured
   }
 
  private:
@@ -162,7 +191,6 @@ class StageRunner {
     }
   }
 
-  simmpi::World& world_;
   simmpi::Comm& comm_;
   RunRecorder& recorder_;
   const std::vector<InjectedDelay>* injected_delays_;

@@ -1,0 +1,202 @@
+#include "job/job.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/check.h"
+#include "job/registry.h"
+
+namespace cts::job {
+
+namespace {
+
+// Exact textual form of a double for cache keys (hex float: no
+// rounding ambiguity between nearly-equal delay values).
+std::string ExactDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+const AlgorithmInfo& FindOrDie(const std::string& name) {
+  const AlgorithmInfo* info = Find(name);
+  CTS_CHECK_MSG(info != nullptr, "unknown algorithm '" << name << "'");
+  return *info;
+}
+
+// Aggregates the outcome's per-span mitigation accounting into the
+// JobResult counters.
+void FillMitigationStats(const simscen::ScenarioOutcome& outcome,
+                         JobResult& result) {
+  result.wasted_seconds = outcome.wasted_seconds;
+  for (const simscen::StageSpan& span : outcome.spans) {
+    result.speculative_copies += span.speculative_copies;
+    result.abandoned_nodes += span.abandoned_nodes;
+  }
+}
+
+}  // namespace
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kLive:
+      return "live";
+    case Backend::kPriced:
+      return "priced";
+    case Backend::kReplay:
+      return "replay";
+  }
+  CTS_CHECK_MSG(false, "unreachable backend");
+  return "live";
+}
+
+std::string RunCache::Key(const std::string& algorithm,
+                          const SortConfig& config) {
+  std::string key = algorithm;
+  key += "|K=" + std::to_string(config.num_nodes);
+  key += "|r=" + std::to_string(config.redundancy);
+  key += "|n=" + std::to_string(config.num_records);
+  key += "|seed=" + std::to_string(config.seed);
+  key += "|dist=" + std::to_string(static_cast<int>(config.distribution));
+  key += "|part=" + std::to_string(static_cast<int>(config.partitioner));
+  key += "|sample=" + std::to_string(config.sample_size);
+  key += "|codegen=" + std::to_string(static_cast<int>(config.codegen_mode));
+  key += "|sync=" + std::to_string(static_cast<int>(config.shuffle_sync));
+  for (const InjectedDelay& d : config.injected_delays) {
+    key += "|delay=" + d.stage + ":" + std::to_string(d.node) + ":" +
+           ExactDouble(d.seconds);
+  }
+  return key;
+}
+
+std::shared_ptr<const AlgorithmResult> RunCache::Get(
+    const std::string& algorithm, const SortConfig& config) {
+  const std::string key = Key(algorithm, config);
+  if (const auto it = runs_.find(key); it != runs_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  const AlgorithmInfo& info = FindOrDie(algorithm);
+  ++executions_;
+  auto run = std::make_shared<AlgorithmResult>(info.run(config));
+  runs_.emplace(key, run);
+  return run;
+}
+
+void RunCache::ReleasePartitions(const std::string& algorithm,
+                                 const SortConfig& config) {
+  const auto it = runs_.find(Key(algorithm, config));
+  if (it == runs_.end()) return;
+  it->second->partitions.clear();
+  it->second->partitions.shrink_to_fit();
+}
+
+std::shared_ptr<const simscen::ScenarioRun> RunCache::GetScenarioRun(
+    const std::string& algorithm, const SortConfig& config,
+    std::uint64_t paper_records, bool from_events) {
+  const AlgorithmInfo& info = FindOrDie(algorithm);
+  if (!info.priced) from_events = true;  // nothing to price
+  const std::uint64_t reported =
+      from_events ? 0
+                  : (paper_records == 0 ? config.num_records : paper_records);
+  const std::string key = Key(algorithm, config) +
+                          (from_events ? "|events"
+                                       : "|paper=" + std::to_string(reported));
+  if (const auto it = scenario_runs_.find(key); it != scenario_runs_.end()) {
+    return it->second;
+  }
+  const std::shared_ptr<const AlgorithmResult> run = Get(algorithm, config);
+  std::shared_ptr<const simscen::ScenarioRun> built;
+  if (from_events) {
+    built = std::make_shared<simscen::ScenarioRun>(
+        simscen::BuildScenarioRunFromEvents(
+            run->algorithm, run->config.num_nodes, run->stage_order,
+            run->compute_events, run->shuffle_log, run->config.redundancy));
+  } else {
+    built = std::make_shared<simscen::ScenarioRun>(simscen::BuildScenarioRun(
+        *run, CostModel{}, PaperScale(config.num_records, reported)));
+  }
+  scenario_runs_.emplace(key, built);
+  return built;
+}
+
+JobResult RunJob(const JobSpec& spec, RunCache& cache) {
+  const AlgorithmInfo& info = FindOrDie(spec.algorithm);
+  // kPriced is the closed-form backend; it has no way to honor a
+  // scenario, and silently ignoring one would label an unmitigated
+  // run as a scenario cell. Price scenarios with kReplay.
+  CTS_CHECK_MSG(
+      !(spec.backend == Backend::kPriced && spec.scenario.has_value()),
+      "Backend::kPriced ignores scenarios — use Backend::kReplay");
+
+  JobResult result;
+  result.spec = spec;
+  result.execution = cache.Get(spec.algorithm, spec.config);
+  result.algorithm = result.execution->algorithm;
+
+  switch (spec.backend) {
+    case Backend::kLive:
+    case Backend::kPriced: {
+      if (spec.backend == Backend::kPriced && info.priced) {
+        const RunScale scale = PaperScale(
+            spec.config.num_records, spec.paper_records == 0
+                                         ? spec.config.num_records
+                                         : spec.paper_records);
+        result.breakdown = SimulateRun(*result.execution, CostModel{}, scale,
+                                       spec.schedule);
+        result.priced = true;
+      } else {
+        result.breakdown = MeasuredBreakdown(*result.execution);
+      }
+      // kLive with a scenario: replay the measured stage boundaries
+      // under it (executed scale) — the live-mitigation path.
+      if (spec.backend == Backend::kLive && spec.scenario.has_value()) {
+        const auto run = cache.GetScenarioRun(spec.algorithm, spec.config,
+                                              /*paper_records=*/0,
+                                              /*from_events=*/true);
+        result.outcome = simscen::ReplayScenario(*run, *spec.scenario);
+        result.breakdown = result.outcome->breakdown();
+        FillMitigationStats(*result.outcome, result);
+      }
+      break;
+    }
+    case Backend::kReplay: {
+      const auto run = cache.GetScenarioRun(spec.algorithm, spec.config,
+                                            spec.paper_records,
+                                            /*from_events=*/!info.priced);
+      const simscen::Scenario scenario =
+          spec.scenario.has_value()
+              ? *spec.scenario
+              : simscen::Scenario::Baseline(spec.config.num_nodes);
+      result.outcome = simscen::ReplayScenario(*run, scenario);
+      result.breakdown = result.outcome->breakdown();
+      result.priced = info.priced;
+      FillMitigationStats(*result.outcome, result);
+      break;
+    }
+  }
+  result.makespan = result.breakdown.total();
+  return result;
+}
+
+JobResult RunJob(const JobSpec& spec) {
+  RunCache cache;
+  return RunJob(spec, cache);
+}
+
+std::map<std::string, double> JobResult::metrics(
+    const std::string& prefix) const {
+  std::map<std::string, double> out;
+  for (const StageTime& s : breakdown.stages) {
+    if (s.seconds != 0) out[prefix + "/" + s.name + "_s"] = s.seconds;
+  }
+  out[prefix + "/total_s"] = breakdown.total();
+  if (outcome.has_value()) {
+    out[prefix + "/wasted_s"] = wasted_seconds;
+    out[prefix + "/backups"] = speculative_copies;
+    out[prefix + "/abandoned"] = abandoned_nodes;
+  }
+  return out;
+}
+
+}  // namespace cts::job

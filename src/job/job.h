@@ -1,0 +1,145 @@
+// Unified Job API: one front-end over algorithms × backends ×
+// scenarios.
+//
+// A JobSpec fully describes one cell of the paper's experiment matrix:
+// which algorithm (by registry name, job/registry.h), its SortConfig,
+// how to evaluate it (Backend), and — for replay backends — the
+// scenario and mitigation policy to evaluate it under. RunJob executes
+// (or, given a RunCache, reuses) the one expensive thread-harness run
+// and derives the requested view from it, returning a unified
+// JobResult: the measured execution, a StageBreakdown, the scenario
+// outcome, and redundancy/waste stats, flattenable into the bench
+// JSON schema (bench/bench_common.h) via metrics().
+//
+// The RunCache is the reason this API exists beyond tidiness: the
+// live execution is the only expensive step, and it depends only on
+// (algorithm, SortConfig). Every scenario × policy × backend view is
+// a cheap deterministic replay of that one measured run, so sweeps
+// memoize per key instead of re-running the cluster N×M times
+// (job/matrix.h drives this).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analytics/report.h"
+#include "driver/run_result.h"
+#include "simscen/engine.h"
+
+namespace cts::job {
+
+// How a job evaluates its run.
+enum class Backend {
+  // Executed-scale view: the measured wall clocks as they happened on
+  // the thread harness. With a scenario attached, the measured
+  // per-node stage boundaries (ComputeEvents) are replayed under it —
+  // the "mitigation on the measured run" path.
+  kLive,
+  // Paper-scale closed forms: the measured counters priced by the
+  // EC2-calibrated CostModel (analytics::SimulateRun). Algorithms
+  // without NodeWork counters (priced = false) fall back to kLive.
+  kPriced,
+  // Paper-scale discrete-event replay under a Scenario
+  // (simscen::ReplayScenario); unpriced algorithms replay their
+  // measured ComputeEvents at executed scale instead.
+  kReplay,
+};
+
+const char* BackendName(Backend backend);
+
+struct JobSpec {
+  std::string algorithm = "terasort";  // registry name
+  SortConfig config;
+  Backend backend = Backend::kPriced;
+  // kReplay / kLive-with-events: the scenario to replay under. Unset
+  // on kReplay means the baseline (homogeneous cluster, single rack);
+  // unset on kLive means no replay at all.
+  std::optional<simscen::Scenario> scenario;
+  // kPriced / kReplay: report at this paper workload (record count);
+  // 0 reports at the executed scale.
+  std::uint64_t paper_records = 0;
+  // kPriced: closed-form shuffle discipline.
+  ShuffleSchedule schedule = ShuffleSchedule::kSerial;
+};
+
+// Everything one evaluated cell produces.
+struct JobResult {
+  JobSpec spec;
+  std::string algorithm;  // display name, e.g. "CodedTeraSort"
+  bool priced = false;    // whether the breakdown is paper-scale
+  // The measured run (shared with the RunCache when one was used).
+  std::shared_ptr<const AlgorithmResult> execution;
+  // Per-stage seconds of the requested view.
+  StageBreakdown breakdown;
+  // The scenario replay, when one ran.
+  std::optional<simscen::ScenarioOutcome> outcome;
+  double makespan = 0;  // == breakdown.total()
+
+  // Mitigation accounting aggregated over the outcome's spans (all
+  // zero without a scenario or under PolicyKind::kNone).
+  double wasted_seconds = 0;
+  int speculative_copies = 0;
+  int abandoned_nodes = 0;
+
+  // Flat "<prefix>/<metric>" map in the bench JSON schema: one key per
+  // non-zero stage plus total_s, and the mitigation stats when a
+  // scenario ran.
+  std::map<std::string, double> metrics(const std::string& prefix) const;
+};
+
+// Memoizes the expensive thread-harness execution per
+// (algorithm, SortConfig) key, plus the paper-scale ScenarioRun
+// derived from it, so N scenarios × M policies replay one measured
+// run. Not thread-safe; share one per sweep.
+class RunCache {
+ public:
+  // The cached run for (algorithm, config), executing it on miss.
+  std::shared_ptr<const AlgorithmResult> Get(const std::string& algorithm,
+                                             const SortConfig& config);
+
+  // The scenario-agnostic replay input derived from the cached run,
+  // memoized per (key, paper_records, from_events). `from_events`
+  // replays the measured per-node stage boundaries at executed scale
+  // (simscen::BuildScenarioRunFromEvents, ignores paper_records);
+  // otherwise the run is cost-model priced at paper scale
+  // (simscen::BuildScenarioRun; requires a priced algorithm).
+  std::shared_ptr<const simscen::ScenarioRun> GetScenarioRun(
+      const std::string& algorithm, const SortConfig& config,
+      std::uint64_t paper_records, bool from_events);
+
+  // Drops the sorted output records of the cached run for
+  // (algorithm, config), keeping the run cached. Every replay/pricing
+  // path reads only counters, logs and events, so callers that have
+  // finished validating the output can release the dominant memory —
+  // the full sorted dataset — before fanning out over scenarios
+  // (ctsort does, right after teravalidate). No-op on a miss.
+  void ReleasePartitions(const std::string& algorithm,
+                         const SortConfig& config);
+
+  // Live thread-harness executions performed (== distinct keys seen).
+  int executions() const { return executions_; }
+  // Get() calls served from the cache.
+  int hits() const { return hits_; }
+
+  // The memoization key: every SortConfig field an engine reads.
+  static std::string Key(const std::string& algorithm,
+                         const SortConfig& config);
+
+ private:
+  // Held non-const so ReleasePartitions can drop the sorted data;
+  // handed out as shared_ptr<const ...> only.
+  std::map<std::string, std::shared_ptr<AlgorithmResult>> runs_;
+  std::map<std::string, std::shared_ptr<const simscen::ScenarioRun>>
+      scenario_runs_;
+  int executions_ = 0;
+  int hits_ = 0;
+};
+
+// Evaluates one cell. The overload without a cache executes the run
+// itself (every call pays the live execution).
+JobResult RunJob(const JobSpec& spec);
+JobResult RunJob(const JobSpec& spec, RunCache& cache);
+
+}  // namespace cts::job

@@ -38,6 +38,16 @@ struct Scenario {
   simnet::Discipline discipline = simnet::Discipline::kSerial;
   simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder;
   mitigate::MitigationPolicy mitigation;
+
+  // The do-nothing scenario: homogeneous single-rack cluster, no
+  // straggler, no mitigation. Replaying under it reproduces the
+  // measured run (the degenerate case the tests pin to 1e-9).
+  static Scenario Baseline(int num_nodes) {
+    Scenario s;
+    s.cluster = ClusterProfile::Homogeneous(num_nodes);
+    s.topology = Topology::SingleRack(num_nodes);
+    return s;
+  }
 };
 
 // How a replayed stage reacts to the scenario.

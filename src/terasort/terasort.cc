@@ -46,7 +46,7 @@ void TeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
     partitioner = MakePartitioner(config);
   }
 
-  StageRunner stages(comm.world(), comm, recorder, &config.injected_delays);
+  StageRunner stages(comm, recorder, &config.injected_delays);
   NodeWork work;
 
   // Hash outputs: intermediate value I^j_{self} per partition j.

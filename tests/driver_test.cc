@@ -41,7 +41,7 @@ TEST(Cluster, StageRunnerLabelsTrafficPerStage) {
   simmpi::World world(2);
   RunRecorder recorder(2);
   RunOnCluster(world, recorder, [&](simmpi::Comm& comm, RunRecorder& rec) {
-    StageRunner stages(comm.world(), comm, rec);
+    StageRunner stages(comm, rec);
     Buffer b;
     b.resize(64);
     stages.run("first", [&] {
@@ -69,7 +69,7 @@ TEST(Cluster, StageRunnerRecordsWallPerNode) {
   simmpi::World world(3);
   RunRecorder recorder(3);
   RunOnCluster(world, recorder, [&](simmpi::Comm& comm, RunRecorder& rec) {
-    StageRunner stages(comm.world(), comm, rec);
+    StageRunner stages(comm, rec);
     stages.run("work", [&] {});
     stages.run("more", [&] {});
   });

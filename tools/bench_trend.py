@@ -9,7 +9,15 @@ failure.
 
 Usage:
   bench_trend.py OLD.json NEW.json [--threshold 0.15] [--suffix total_s]
+  bench_trend.py --check FILE [FILE ...]
   bench_trend.py --self-test
+
+--check validates that each FILE is a well-formed bench artifact (the
+schema load_metrics enforces: a flat object with a "bench" string and
+finite-or-null numeric metrics) without comparing anything — the CI
+job-smoke step runs it over freshly emitted JSONs so an API-level
+output regression fails the build even on the first run, when there
+is no previous artifact to diff against.
 
 Only keys ending in the suffix (default "total_s", the makespan
 metrics) gate the exit status; other shared numeric keys are reported
@@ -98,6 +106,37 @@ def run_check(old_path, new_path, threshold, suffix):
     return 0
 
 
+def run_schema_check(paths):
+    """Validates each artifact's schema; exits 2 via load_metrics on a
+    malformed file. Also rejects artifacts that could not gate
+    anything: no finite *total_s makespan, or a makespan serialized as
+    null (JsonReport writes null for NaN/Inf) — either means the bench
+    silently stopped producing the numbers this gate exists to watch.
+    """
+    failed = False
+    for path in paths:
+        name, metrics = load_metrics(path)
+        with open(path, "r", encoding="utf-8") as f:
+            raw = json.load(f)
+        null_makespans = sorted(
+            k for k, v in raw.items() if k.endswith("total_s") and v is None)
+        gating = [k for k in metrics if k.endswith("total_s")]
+        if null_makespans:
+            print(f"bench_trend: {path}: null (non-finite) makespan "
+                  f"metric(s): {', '.join(null_makespans)}", file=sys.stderr)
+            failed = True
+        elif not gating:
+            print(f"bench_trend: {path}: no *total_s metric — an artifact "
+                  "without makespans cannot gate regressions",
+                  file=sys.stderr)
+            failed = True
+        else:
+            print(f"bench_trend: {path}: bench {name!r}, "
+                  f"{len(metrics)} finite metrics "
+                  f"({len(gating)} makespans) — schema OK")
+    return 1 if failed else 0
+
+
 def self_test():
     """Exercises the comparison logic without touching the filesystem."""
     old = {"a/total_s": 10.0, "b/total_s": 10.0, "c/wasted_s": 1.0}
@@ -150,10 +189,15 @@ def main():
                              "(default total_s)")
     parser.add_argument("--self-test", action="store_true",
                         help="run the embedded self-test and exit")
+    parser.add_argument("--check", nargs="+", metavar="FILE",
+                        help="validate the schema of each FILE and exit "
+                             "(no comparison)")
     args = parser.parse_args()
 
     if args.self_test:
         sys.exit(self_test())
+    if args.check:
+        sys.exit(run_schema_check(args.check))
     if args.old is None or args.new is None:
         parser.error("OLD and NEW artifacts are required")
     sys.exit(run_check(args.old, args.new, args.threshold, args.suffix))

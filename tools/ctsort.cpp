@@ -1,16 +1,23 @@
 // ctsort — command-line driver for the coded-terasort library.
 //
-// Runs TeraSort and/or CodedTeraSort on a simulated cluster with any
-// configuration, verifies the output, and reports executed wall times,
-// transport traffic, and (optionally) the EC2-calibrated paper-scale
-// projection.
+// A thin shell over the unified Job API (src/job): every invocation
+// builds JobSpecs — algorithm registry name × SortConfig × evaluation
+// backend × optional scenario — runs them through one RunCache (each
+// algorithm executes on the simulated cluster exactly once, every
+// other view is a replay of that measured run), verifies the output,
+// and reports executed wall times, transport traffic and the
+// EC2-calibrated paper-scale projection.
 //
 //   ctsort --algo=both --nodes=16 --redundancy=3 --records=1200000
 //   ctsort --algo=coded --nodes=20 --redundancy=5 --codegen=batched
-//   ctsort --algo=both --schedule=parallel-full --paper-records=120000000
+//   ctsort --algo=each --scenario --straggler=slow:0:4 --json
+//   ctsort --list-algos
 //
 // Flags (all optional):
-//   --algo=terasort|coded|both        what to run            [both]
+//   --algo=NAME|both|each             registry name, or: both =
+//                                     terasort+coded, each = every
+//                                     registered algorithm     [both]
+//   --list-algos                      print the registry and exit
 //   --nodes=K                         worker count           [8]
 //   --redundancy=r                    computation load       [3]
 //   --records=N                       records to sort        [200000]
@@ -21,6 +28,9 @@
 //   --schedule=serial|parallel-full|parallel-half            [serial]
 //   --paper-records=N                 report at this scale   [=records]
 //   --no-verify                       skip output validation
+//   --json[=path]                     bench-schema JSON of every job's
+//                                     metrics [off; default path
+//                                     BENCH_ctsort.json]
 //
 // Transmission-log replay (simnet::ReplayMakespan; prints the shuffle
 // makespan of the measured log under a network discipline):
@@ -28,7 +38,8 @@
 //   --order=log|per-sender            initiation-order constraint [log]
 //
 // Scenario replay (src/simscen; discrete-event replay of the whole run
-// under a cluster profile and topology):
+// under a cluster profile and topology — flag syntax is shared with
+// the bench sweeps via job::ParseScenario):
 //   --scenario                        enable the scenario projection
 //   --topology=R:F                    R nodes per rack behind a core
 //                                     oversubscribed F:1  [single rack]
@@ -50,9 +61,11 @@
 //   --inject-delay=STAGE:NODE:SEC     live fault injection: that node
 //                                     really sleeps SEC inside STAGE
 // --mitigate evaluates the policy on the measured run's recorded stage
-// boundaries (the live StageRunner path) and, with --scenario, inside
-// the scenario replay — the same policy arithmetic either way.
+// boundaries (a kLive job replayed under the baseline scenario) and,
+// with --scenario, inside the scenario replay — the same policy
+// arithmetic either way.
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <iostream>
 #include <map>
@@ -62,15 +75,15 @@
 #include <vector>
 
 #include "analytics/report.h"
-#include "codedterasort/coded_terasort.h"
+#include "bench/bench_common.h"
 #include "common/table.h"
 #include "common/units.h"
-#include "keyvalue/recordio.h"
+#include "job/job.h"
+#include "job/parse.h"
+#include "job/registry.h"
 #include "keyvalue/teragen.h"
 #include "keyvalue/teravalidate.h"
 #include "mitigate/policy.h"
-#include "simscen/engine.h"
-#include "terasort/terasort.h"
 
 namespace {
 
@@ -103,11 +116,28 @@ class Flags {
   }
 
   std::uint64_t GetU64(const std::string& key, std::uint64_t fallback) {
-    const std::string v = Get(key, std::to_string(fallback));
-    return static_cast<std::uint64_t>(std::strtoull(v.c_str(), nullptr, 10));
+    const std::string v = Get(key, "");
+    if (v.empty()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const std::uint64_t parsed = std::strtoull(v.c_str(), &end, 10);
+    // strtoull silently clamps overflow to 2^64-1 (ERANGE) and accepts
+    // a leading '-' by wrapping; both would run a wildly different
+    // experiment than the flag says.
+    if (end == v.c_str() || *end != '\0' || errno == ERANGE || v[0] == '-') {
+      Fail("bad number '" + v + "' in --" + key);
+    }
+    return parsed;
   }
 
-  bool GetBool(const std::string& key) { return Get(key, "") == "true"; }
+  // Boolean flags are passed bare (--scenario); "--scenario=yes" must
+  // not silently mean false.
+  bool GetBool(const std::string& key) {
+    const std::string v = Get(key, "false");
+    if (v == "true") return true;
+    if (v == "false") return false;
+    Fail("--" + key + " is a boolean flag — pass it bare, without a value");
+  }
 
   void CheckAllConsumed() const {
     for (const auto& [key, value] : values_) {
@@ -142,131 +172,50 @@ ShuffleSchedule ParseSchedule(const std::string& name) {
   Flags::Fail("unknown --schedule=" + name);
 }
 
-simnet::Discipline ParseDiscipline(const std::string& name) {
-  if (name == "serial") return simnet::Discipline::kSerial;
-  if (name == "half") return simnet::Discipline::kParallelHalfDuplex;
-  if (name == "full") return simnet::Discipline::kParallelFullDuplex;
-  Flags::Fail("unknown --discipline=" + name);
-}
-
-simnet::ReplayOrder ParseOrder(const std::string& name) {
-  if (name == "log") return simnet::ReplayOrder::kLogOrder;
-  if (name == "per-sender") return simnet::ReplayOrder::kPerSender;
-  Flags::Fail("unknown --order=" + name);
-}
-
-// Splits "a:b:c" into fields.
-std::vector<std::string> SplitColons(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (true) {
-    const std::size_t colon = s.find(':', pos);
-    if (colon == std::string::npos) {
-      out.push_back(s.substr(pos));
-      return out;
+// The registry printout behind --list-algos.
+void ListAlgorithms() {
+  TextTable table("registered algorithms (ctsort --algo=NAME)");
+  table.set_header({"name", "priced", "sorts", "knobs", "description"});
+  for (const std::string& name : job::Names()) {
+    const job::AlgorithmInfo* info = job::Find(name);
+    std::string knobs;
+    for (const std::string& knob : info->knobs) {
+      knobs += (knobs.empty() ? "" : ",") + knob;
     }
-    out.push_back(s.substr(pos, colon - pos));
-    pos = colon + 1;
+    table.add_row({name, info->priced ? "yes" : "no",
+                   info->sorts ? "yes" : "no", knobs, info->description});
   }
+  table.render(std::cout);
 }
 
-double ParseDouble(const std::string& s, const std::string& flag) {
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0' || s.empty()) {
-    Flags::Fail("bad number '" + s + "' in --" + flag);
+// Resolves --algo into registry names; dies with a did-you-mean
+// suggestion on an unknown name.
+std::vector<std::string> ResolveAlgos(const std::string& spec) {
+  if (spec == "both") return {"terasort", "coded"};
+  if (spec == "each") {
+    // The registry is alphabetical; the report tables compute speedup
+    // against their first row, so keep the paper's baseline first:
+    // terasort, then the other priced sorters, then unpriced engines.
+    std::vector<std::string> names = job::Names();
+    std::stable_sort(names.begin(), names.end(),
+                     [](const std::string& a, const std::string& b) {
+                       const auto rank = [](const std::string& n) {
+                         if (n == "terasort") return 0;
+                         return job::Find(n)->priced ? 1 : 2;
+                       };
+                       return rank(a) < rank(b);
+                     });
+    return names;
   }
-  return v;
-}
-
-// Like ParseDouble, but the field must be a whole non-negative number
-// (node ids, rack sizes): 1.9 must not silently become 1.
-int ParseIndex(const std::string& s, const std::string& flag) {
-  const double v = ParseDouble(s, flag);
-  const int i = static_cast<int>(v);
-  if (v < 0 || static_cast<double>(i) != v) {
-    Flags::Fail("bad integer '" + s + "' in --" + flag);
-  }
-  return i;
-}
-
-simscen::Topology ParseTopology(const std::string& spec, int num_nodes) {
-  if (spec.empty()) return simscen::Topology::SingleRack(num_nodes);
-  const auto fields = SplitColons(spec);
-  if (fields.size() != 2) {
-    Flags::Fail("--topology expects R:F (nodes-per-rack:oversubscription)");
-  }
-  const int per_rack = ParseIndex(fields[0], "topology");
-  const double factor = ParseDouble(fields[1], "topology");
-  if (per_rack < 1) Flags::Fail("--topology needs >= 1 node per rack");
-  if (factor <= 0) Flags::Fail("--topology oversubscription must be > 0");
-  return simscen::Topology::Oversubscribed(num_nodes, per_rack, factor);
-}
-
-simscen::StragglerModel ParseStraggler(const std::string& spec) {
-  simscen::StragglerModel m;
-  if (spec.empty() || spec == "none") return m;
-  const auto fields = SplitColons(spec);
-  const std::string& kind = fields[0];
-  if (kind == "slow" && fields.size() == 3) {
-    m.kind = simscen::StragglerKind::kSlowNode;
-    m.node = ParseIndex(fields[1], "straggler");
-    m.slowdown = ParseDouble(fields[2], "straggler");
-    if (m.slowdown < 1.0) Flags::Fail("--straggler slowdown must be >= 1");
-  } else if (kind == "exp" && (fields.size() == 3 || fields.size() == 4)) {
-    m.kind = simscen::StragglerKind::kShiftedExp;
-    m.shift = ParseDouble(fields[1], "straggler");
-    m.mean = ParseDouble(fields[2], "straggler");
-    if (m.shift < 0 || m.mean < 0) {
-      Flags::Fail("--straggler exp shift/mean must be >= 0");
-    }
-    if (fields.size() == 4) {
-      m.seed = static_cast<std::uint64_t>(
-          ParseIndex(fields[3], "straggler"));
-    }
-  } else if (kind == "failstop" &&
-             (fields.size() == 3 || fields.size() == 4)) {
-    m.kind = simscen::StragglerKind::kFailStop;
-    m.fail_at = ParseDouble(fields[1], "straggler");
-    m.recovery = ParseDouble(fields[2], "straggler");
-    if (m.fail_at < 0 || m.recovery < 0) {
-      Flags::Fail("--straggler failstop times must be >= 0");
-    }
-    if (fields.size() == 4) {
-      m.node = ParseIndex(fields[3], "straggler");
-    }
+  if (job::Find(spec) != nullptr) return {spec};
+  std::string msg = "unknown --algo=" + spec;
+  const std::string suggestion = job::SuggestName(spec);
+  if (!suggestion.empty()) {
+    msg += " (did you mean --algo=" + suggestion + "?)";
   } else {
-    Flags::Fail("unknown --straggler=" + spec +
-                " (slow:NODE:FACTOR | exp:SHIFT:MEAN[:SEED] | "
-                "failstop:T:REC[:NODE] | none)");
+    msg += " (see --list-algos)";
   }
-  return m;
-}
-
-InjectedDelay ParseInjectDelay(const std::string& spec) {
-  const auto fields = SplitColons(spec);
-  if (fields.size() != 3) {
-    Flags::Fail("--inject-delay expects STAGE:NODE:SECONDS");
-  }
-  InjectedDelay d;
-  d.stage = fields[0];
-  d.node = ParseIndex(fields[1], "inject-delay");
-  d.seconds = ParseDouble(fields[2], "inject-delay");
-  // StageRunner matches the stage by exact name; a typo would silently
-  // inject nothing and invalidate the experiment.
-  const std::vector<std::string> known = {
-      stage::kCodeGen, stage::kMap,    stage::kPack,   stage::kEncode,
-      stage::kShuffle, stage::kUnpack, stage::kDecode, stage::kReduce};
-  if (std::find(known.begin(), known.end(), d.stage) == known.end()) {
-    std::string names;
-    for (const auto& n : known) names += (names.empty() ? "" : "|") + n;
-    Flags::Fail("--inject-delay stage '" + d.stage + "' is not one of " +
-                names);
-  }
-  if (d.seconds < 0) {
-    Flags::Fail("--inject-delay SECONDS must be >= 0");
-  }
-  return d;
+  Flags::Fail(msg);
 }
 
 // TeraValidate: global order + order-insensitive multiset checksum
@@ -292,17 +241,26 @@ void Report(const AlgorithmResult& result, bool verify) {
     wall.add_row({name, HumanSeconds(sec)});
   }
   wall.render(std::cout);
-  const auto shuffle = result.traffic.at(stage::kShuffle);
-  std::cout << "shuffle: "
-            << HumanBytes(static_cast<double>(shuffle.transmitted_bytes()))
-            << " transmitted (" << shuffle.unicast_msgs << " unicasts, "
-            << shuffle.mcast_msgs << " multicasts)\n\n";
+  const auto it = result.traffic.find(stage::kShuffle);
+  if (it != result.traffic.end()) {
+    std::cout << "shuffle: "
+              << HumanBytes(static_cast<double>(it->second.transmitted_bytes()))
+              << " transmitted (" << it->second.unicast_msgs << " unicasts, "
+              << it->second.mcast_msgs << " multicasts)\n";
+  }
+  std::cout << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+
+  if (flags.GetBool("list-algos")) {
+    flags.CheckAllConsumed();
+    ListAlgorithms();
+    return 0;
+  }
 
   SortConfig config;
   config.num_nodes = static_cast<int>(flags.GetU64("nodes", 8));
@@ -316,20 +274,20 @@ int main(int argc, char** argv) {
   config.codegen_mode = flags.Get("codegen", "split") == "batched"
                             ? CodeGenMode::kBatched
                             : CodeGenMode::kCommSplit;
-  const std::string algo = flags.Get("algo", "both");
+  const std::vector<std::string> algos =
+      ResolveAlgos(flags.Get("algo", "both"));
   const ShuffleSchedule schedule =
       ParseSchedule(flags.Get("schedule", "serial"));
   const std::uint64_t paper_records =
       flags.GetU64("paper-records", config.num_records);
   const bool verify = !flags.GetBool("no-verify");
+  std::string parse_error;
   const std::string inject_spec = flags.Get("inject-delay", "");
   if (!inject_spec.empty()) {
-    InjectedDelay d = ParseInjectDelay(inject_spec);
-    if (d.node < 0 || d.node >= config.num_nodes) {
-      Flags::Fail("--inject-delay node out of range for --nodes=" +
-                  std::to_string(config.num_nodes));
-    }
-    config.injected_delays.push_back(std::move(d));
+    const auto delay =
+        job::ParseInjectDelay(inject_spec, config.num_nodes, &parse_error);
+    if (!delay.has_value()) Flags::Fail(parse_error);
+    config.injected_delays.push_back(*delay);
   }
   const std::string mitigate_spec = flags.Get("mitigate", "none");
   const std::optional<mitigate::MitigationPolicy> mitigation =
@@ -339,43 +297,38 @@ int main(int argc, char** argv) {
                 " (none | spec[:QUANTILE:TRIGGER] | coded)");
   }
 
-  // Replay / scenario options.
-  const std::string discipline_spec = flags.Get("discipline", "");
-  const std::string order_spec = flags.Get("order", "");
-  const simnet::Discipline discipline =
-      ParseDiscipline(discipline_spec.empty() ? "serial" : discipline_spec);
-  const simnet::ReplayOrder order =
-      ParseOrder(order_spec.empty() ? "log" : order_spec);
+  // Replay / scenario options (the spec strings feed the shared
+  // job::ParseScenario, so they mean the same experiment here and in
+  // the bench sweeps).
+  job::ScenarioSpec scenario_spec;
+  scenario_spec.discipline = flags.Get("discipline", "");
+  scenario_spec.order = flags.Get("order", "");
+  scenario_spec.topology = flags.Get("topology", "");
+  scenario_spec.straggler = flags.Get("straggler", "none");
+  scenario_spec.mitigate = mitigate_spec;
   const bool scenario_enabled = flags.GetBool("scenario");
-  const std::string topology_spec = flags.Get("topology", "");
-  const std::string straggler_spec = flags.Get("straggler", "none");
-  if (!topology_spec.empty() && !scenario_enabled) {
+  if (!scenario_spec.topology.empty() && !scenario_enabled) {
     Flags::Fail("--topology requires --scenario");
   }
-  if (straggler_spec != "none" && !scenario_enabled) {
+  if (scenario_spec.straggler != "none" && !scenario_enabled) {
     Flags::Fail("--straggler requires --scenario");
   }
   std::optional<simscen::Scenario> scenario;
   if (scenario_enabled) {
-    simscen::Scenario s;
-    s.cluster = simscen::ClusterProfile::Homogeneous(config.num_nodes);
-    s.cluster.straggler = ParseStraggler(straggler_spec);
-    const auto kind = s.cluster.straggler.kind;
-    if ((kind == simscen::StragglerKind::kSlowNode ||
-         kind == simscen::StragglerKind::kFailStop) &&
-        (s.cluster.straggler.node < 0 ||
-         s.cluster.straggler.node >= config.num_nodes)) {
-      Flags::Fail("--straggler node " +
-                  std::to_string(s.cluster.straggler.node) +
-                  " out of range for --nodes=" +
-                  std::to_string(config.num_nodes));
-    }
-    s.topology = ParseTopology(topology_spec, config.num_nodes);
-    s.discipline = discipline;
-    s.order = order;
-    s.mitigation = *mitigation;
-    scenario = s;
+    const auto parsed =
+        job::ParseScenario(scenario_spec, config.num_nodes, &parse_error);
+    if (!parsed.has_value()) Flags::Fail(parse_error);
+    scenario = *parsed;
   }
+  const auto discipline_parsed =
+      job::ParseDiscipline(scenario_spec.discipline, &parse_error);
+  if (!discipline_parsed.has_value()) Flags::Fail(parse_error);
+  const simnet::Discipline discipline = *discipline_parsed;
+  const auto order_parsed = job::ParseOrder(scenario_spec.order, &parse_error);
+  if (!order_parsed.has_value()) Flags::Fail(parse_error);
+  const simnet::ReplayOrder order = *order_parsed;
+  std::string json_path = flags.Get("json", "");
+  if (json_path == "true") json_path = "BENCH_ctsort.json";
   flags.CheckAllConsumed();
 
   std::cout << "ctsort: K=" << config.num_nodes << " r=" << config.redundancy
@@ -383,124 +336,166 @@ int main(int argc, char** argv) {
             << HumanBytes(static_cast<double>(config.total_bytes()))
             << ")\n\n";
 
-  const CostModel model;
-  const RunScale scale = PaperScale(config.num_records, paper_records);
-  std::vector<AlgorithmResult> results;
+  // One cache for every view below: each algorithm hits the simulated
+  // cluster exactly once.
+  job::RunCache cache;
+  bench::JsonReport json("ctsort", json_path);
 
-  if (algo == "terasort" || algo == "both") {
-    results.push_back(RunTeraSort(config));
+  struct AlgoRun {
+    std::string name;  // registry name
+    job::JobResult live;
+  };
+  std::vector<AlgoRun> runs;
+  for (const std::string& name : algos) {
+    job::JobSpec spec;
+    spec.algorithm = name;
+    spec.config = config;
+    spec.backend = job::Backend::kLive;
+    runs.push_back({name, job::RunJob(spec, cache)});
+    const job::AlgorithmInfo* info = job::Find(name);
+    Report(*runs.back().live.execution, verify && info->sorts);
+    // The sections below only need counters, logs and events; drop the
+    // sorted data so --algo=each doesn't hold every dataset through
+    // the reporting phase.
+    cache.ReleasePartitions(name, config);
   }
-  if (algo == "coded" || algo == "both") {
-    results.push_back(RunCodedTeraSort(config));
-  }
-  if (results.empty()) Flags::Fail("unknown --algo=" + algo);
 
+  // ---- EC2-calibrated projection (priced algorithms) ----
   std::vector<StageBreakdown> rows;
-  for (AlgorithmResult& result : results) {
-    Report(result, verify);
-    rows.push_back(SimulateRun(result, model, scale, schedule));
-    // The replay/scenario sections below only need counters and logs;
-    // drop the sorted data so --algo=both doesn't hold two full
-    // datasets through the reporting phase.
-    result.partitions.clear();
-    result.partitions.shrink_to_fit();
+  for (const AlgoRun& run : runs) {
+    if (!job::Find(run.name)->priced) continue;
+    job::JobSpec spec;
+    spec.algorithm = run.name;
+    spec.config = config;
+    spec.backend = job::Backend::kPriced;
+    spec.paper_records = paper_records;
+    spec.schedule = schedule;
+    const job::JobResult priced = job::RunJob(spec, cache);
+    rows.push_back(priced.breakdown);
+    if (json.enabled() && !scenario.has_value()) {
+      json.add_all(priced.metrics(run.name));
+    }
   }
-
-  BreakdownTable("EC2-calibrated projection at " +
-                     HumanBytes(static_cast<double>(paper_records) *
-                                kRecordBytes) +
-                     " (100 Mbps)",
-                 rows)
-      .render(std::cout);
+  if (!rows.empty()) {
+    BreakdownTable("EC2-calibrated projection at " +
+                       HumanBytes(static_cast<double>(paper_records) *
+                                  kRecordBytes) +
+                       " (100 Mbps)",
+                   rows)
+        .render(std::cout);
+  }
+  // Unpriced algorithms (no NodeWork counters) report executed-scale
+  // walls in the JSON instead of a paper-scale projection.
+  if (json.enabled() && !scenario.has_value()) {
+    for (const AlgoRun& run : runs) {
+      if (!job::Find(run.name)->priced) {
+        json.add_all(run.live.metrics(run.name));
+      }
+    }
+  }
 
   // ---- Transmission-log replay (--discipline/--order) ----
-  if (!discipline_spec.empty() || !order_spec.empty()) {
-    ShuffleSchedule replay_schedule = ShuffleSchedule::kSerial;
-    switch (discipline) {
-      case simnet::Discipline::kSerial:
-        replay_schedule = ShuffleSchedule::kSerial;
-        break;
-      case simnet::Discipline::kParallelHalfDuplex:
-        replay_schedule = ShuffleSchedule::kParallelHalfDuplex;
-        break;
-      case simnet::Discipline::kParallelFullDuplex:
-        replay_schedule = ShuffleSchedule::kParallelFullDuplex;
-        break;
-    }
+  if (!scenario_spec.discipline.empty() || !scenario_spec.order.empty()) {
+    const bench::BenchPricing pricing =
+        bench::PaperPricing(config, paper_records);
     TextTable replay("shuffle makespan: discrete-event replay of the "
                      "measured log (simnet::ReplayMakespan)");
     replay.set_header({"Algorithm", "discipline", "order", "seconds"});
-    for (const AlgorithmResult& result : results) {
+    for (const AlgoRun& run : runs) {
+      if (!job::Find(run.name)->priced) continue;
       replay.add_row(
-          {result.algorithm,
-           discipline_spec.empty() ? "serial" : discipline_spec,
-           order_spec.empty() ? "log" : order_spec,
-           TextTable::Num(ReplayShuffleSeconds(result, model, scale,
-                                               replay_schedule, order))});
+          {run.live.algorithm,
+           scenario_spec.discipline.empty() ? "serial"
+                                            : scenario_spec.discipline,
+           scenario_spec.order.empty() ? "log" : scenario_spec.order,
+           TextTable::Num(ReplayShuffleSeconds(
+               *run.live.execution, pricing.model, pricing.scale,
+               discipline, order))});
     }
     std::cout << '\n';
     replay.render(std::cout);
   }
 
   // ---- Scenario replay (--scenario) ----
+  // Priced algorithms replay at paper scale; unpriced engines (CMR)
+  // replay their measured ComputeEvents at executed scale. The two are
+  // different units, so they get separate tables rather than a shared
+  // speedup baseline.
   if (scenario.has_value()) {
     std::vector<StageBreakdown> scenario_rows;
-    TextTable spans("scenario makespans");
+    std::vector<StageBreakdown> executed_rows;
+    TextTable spans("scenario makespans (paper scale)");
     spans.set_header({"Algorithm", "makespan (s)"});
-    for (const AlgorithmResult& result : results) {
-      const simscen::ScenarioOutcome out =
-          simscen::ReplayScenario(result, model, scale, *scenario);
-      scenario_rows.push_back(out.breakdown());
-      spans.add_row({out.algorithm, TextTable::Num(out.makespan)});
+    for (const AlgoRun& run : runs) {
+      job::JobSpec spec;
+      spec.algorithm = run.name;
+      spec.config = config;
+      spec.backend = job::Backend::kReplay;
+      spec.paper_records = paper_records;
+      spec.scenario = scenario;
+      const job::JobResult replayed = job::RunJob(spec, cache);
+      if (replayed.priced) {
+        scenario_rows.push_back(replayed.breakdown);
+        spans.add_row({replayed.algorithm,
+                       TextTable::Num(replayed.makespan)});
+      } else {
+        executed_rows.push_back(replayed.breakdown);
+      }
+      if (json.enabled()) json.add_all(replayed.metrics(run.name));
     }
     std::cout << '\n';
-    std::string title = "scenario projection (topology=" +
-                        (topology_spec.empty() ? "single-rack"
-                                               : topology_spec) +
-                        ", straggler=" + straggler_spec +
-                        ", mitigate=" + mitigate_spec + ")";
-    BreakdownTable(title, scenario_rows).render(std::cout);
-    spans.render(std::cout);
+    const std::string knobs = "topology=" +
+                              (scenario_spec.topology.empty()
+                                   ? "single-rack"
+                                   : scenario_spec.topology) +
+                              ", straggler=" + scenario_spec.straggler +
+                              ", mitigate=" + mitigate_spec;
+    if (!scenario_rows.empty()) {
+      BreakdownTable("scenario projection (" + knobs + ")", scenario_rows)
+          .render(std::cout);
+      spans.render(std::cout);
+    }
+    if (!executed_rows.empty()) {
+      BreakdownTable("scenario replay of measured events, executed scale (" +
+                         knobs + ")",
+                     executed_rows)
+          .render(std::cout);
+    }
   }
 
   // ---- Mitigation on the measured run (--mitigate) ----
-  // The live StageRunner path: the recorded per-node stage boundaries
+  // The live path: the recorded per-node stage boundaries
   // (ComputeEvents, at executed scale — including any --inject-delay
-  // straggler that really ran) feed the same ReplayScenario + policy
+  // straggler that really ran) replayed under the baseline scenario
+  // with and without the policy — the same ReplayScenario + policy
   // arithmetic the synthetic sweeps use.
   if (mitigation->kind != mitigate::PolicyKind::kNone) {
     TextTable t("mitigation on the measured run (executed scale, policy=" +
                 mitigate_spec + ")");
     t.set_header({"Algorithm", "unmitigated (s)", "mitigated (s)",
                   "wasted (s)", "backups", "abandoned"});
-    for (const AlgorithmResult& result : results) {
-      const simscen::ScenarioRun run = simscen::BuildScenarioRunFromEvents(
-          result.algorithm, config.num_nodes, result.stage_order,
-          result.compute_events, result.shuffle_log,
-          result.config.redundancy);
-      simscen::Scenario live;
-      live.cluster = simscen::ClusterProfile::Homogeneous(config.num_nodes);
-      live.topology = simscen::Topology::SingleRack(config.num_nodes);
+    for (const AlgoRun& run : runs) {
+      simscen::Scenario live = simscen::Scenario::Baseline(config.num_nodes);
       live.discipline = discipline;
       live.order = order;
-      const simscen::ScenarioOutcome plain =
-          simscen::ReplayScenario(run, live);
-      live.mitigation = *mitigation;
-      const simscen::ScenarioOutcome mitigated =
-          simscen::ReplayScenario(run, live);
-      int copies = 0;
-      int abandoned = 0;
-      for (const auto& span : mitigated.spans) {
-        copies += span.speculative_copies;
-        abandoned += span.abandoned_nodes;
-      }
-      t.add_row({result.algorithm, TextTable::Num(plain.makespan, 3),
+      job::JobSpec spec;
+      spec.algorithm = run.name;
+      spec.config = config;
+      spec.backend = job::Backend::kLive;
+      spec.scenario = live;
+      const job::JobResult plain = job::RunJob(spec, cache);
+      spec.scenario->mitigation = *mitigation;
+      const job::JobResult mitigated = job::RunJob(spec, cache);
+      t.add_row({run.live.algorithm, TextTable::Num(plain.makespan, 3),
                  TextTable::Num(mitigated.makespan, 3),
                  TextTable::Num(mitigated.wasted_seconds, 3),
-                 std::to_string(copies), std::to_string(abandoned)});
+                 std::to_string(mitigated.speculative_copies),
+                 std::to_string(mitigated.abandoned_nodes)});
     }
     std::cout << '\n';
     t.render(std::cout);
   }
+
+  json.write();
   return 0;
 }
