@@ -66,11 +66,11 @@ Placement::FileRanges Placement::SplitRecords(std::uint64_t total) const {
   ranges.count.reserve(n);
   std::uint64_t cursor = 0;
   for (std::uint64_t f = 0; f < n; ++f) {
-    // Even split: the first (total % n) files get one extra record.
-    const std::uint64_t count = total / n + (f < total % n ? 1 : 0);
-    ranges.offset.push_back(cursor);
-    ranges.count.push_back(count);
-    cursor += count;
+    const RecordRange range = SplitRange(total, n, f);
+    CTS_CHECK_EQ(range.offset, cursor);
+    ranges.offset.push_back(range.offset);
+    ranges.count.push_back(range.count);
+    cursor += range.count;
   }
   CTS_CHECK_EQ(cursor, total);
   return ranges;

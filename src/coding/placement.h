@@ -19,6 +19,23 @@
 
 namespace cts {
 
+// Even split of `total` records over `num_files` files: file f holds
+// records [offset, offset + count), the first (total % num_files)
+// files getting one extra record (the paper splits "evenly"). A free
+// function rather than a Placement method because the mask-free
+// TeraSort split must work past kMaxNodes, where no Placement can be
+// constructed.
+struct RecordRange {
+  std::uint64_t offset = 0;
+  std::uint64_t count = 0;
+};
+inline RecordRange SplitRange(std::uint64_t total, std::uint64_t num_files,
+                              std::uint64_t f) {
+  const std::uint64_t base = total / num_files;
+  const std::uint64_t extra = total % num_files;
+  return {f * base + (f < extra ? f : extra), base + (f < extra ? 1 : 0)};
+}
+
 class Placement {
  public:
   // Builds the placement for K nodes with redundancy r (1 <= r <= K).

@@ -1,21 +1,47 @@
 #include "combinatorics/subsets.h"
 
+#include <numeric>
+
 namespace cts {
 
 std::uint64_t Binomial(int n, int k) {
+  std::uint64_t result = 0;
+  CTS_CHECK_MSG(BinomialOr(n, k, &result),
+                "Binomial overflow at C(" << n << "," << k << ")");
+  return result;
+}
+
+bool BinomialOr(int n, int k, std::uint64_t* out) {
   CTS_CHECK_GE(n, 0);
-  if (k < 0 || k > n) return 0;
+  if (k < 0 || k > n) {
+    *out = 0;
+    return true;
+  }
   if (k > n - k) k = n - k;
   std::uint64_t result = 1;
   for (int i = 1; i <= k; ++i) {
     // result * (n - k + i) / i is exact at every step because the
-    // product of i consecutive integers is divisible by i!.
-    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
-    CTS_CHECK_MSG(result <= ~std::uint64_t{0} / num,
-                  "Binomial overflow at C(" << n << "," << k << ")");
-    result = result * num / static_cast<std::uint64_t>(i);
+    // product of i consecutive integers is divisible by i!. Cancel the
+    // divisor BEFORE multiplying: the raw product result * num can
+    // overflow even when C(n, k) itself fits (C(63,31) * 64 > 2^64 >
+    // C(64,32)), so reduce num/i by gcd, then the residual divisor
+    // against result. Exactness forces the divisor to 1 afterwards, so
+    // the checked product equals C(n-k+i, i) and the overflow test has
+    // no false positives.
+    std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    std::uint64_t den = static_cast<std::uint64_t>(i);
+    std::uint64_t g = std::gcd(num, den);
+    num /= g;
+    den /= g;
+    g = std::gcd(result, den);
+    result /= g;
+    den /= g;
+    CTS_CHECK_EQ(den, std::uint64_t{1});
+    if (result > ~std::uint64_t{0} / num) return false;
+    result *= num;
   }
-  return result;
+  *out = result;
+  return true;
 }
 
 std::vector<NodeMask> AllSubsets(int K, int r) {
@@ -26,11 +52,14 @@ std::vector<NodeMask> AllSubsets(int K, int r) {
   std::vector<NodeMask> out;
   out.reserve(Binomial(K, r));
   if (r == 0) {
-    out.push_back(0u);
+    out.push_back(NodeMask{0});
     return out;
   }
+  // Key the full-mask case off the mask width, not a literal: with a
+  // 64-bit NodeMask, (K >= 32) would wrongly saturate the limit for
+  // 32 < K < 64 and enumerate subsets outside the K-node universe.
   const NodeMask limit =
-      (K >= 32) ? ~NodeMask{0} : ((NodeMask{1} << K) - 1);
+      (K >= kNodeMaskBits) ? ~NodeMask{0} : ((NodeMask{1} << K) - 1);
   for (NodeMask m = FirstSubset(r); m <= limit;
        m = NextSubsetSameSize(m)) {
     out.push_back(m);

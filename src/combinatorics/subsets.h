@@ -3,7 +3,7 @@
 // CodedTeraSort identifies an input file with an r-subset S of the K
 // nodes (the file F_S is placed on every node in S), and a multicast
 // group with an (r+1)-subset M. This module represents subsets as
-// 32-bit node bitmasks and provides:
+// NodeMask node bitmasks (kNodeMaskBits wide) and provides:
 //   * binomial coefficients C(n, k),
 //   * enumeration of all size-r subsets in colexicographic order
 //     (Gosper's hack), which doubles as a dense FileId <-> subset
@@ -24,19 +24,30 @@
 
 namespace cts {
 
-// C(n, k) as exact 64-bit arithmetic. Valid for the ranges this library
-// uses (n <= 64 and results < 2^63); checked against overflow.
+// C(n, k) as exact 64-bit arithmetic. Valid for the ranges the coded
+// engines use (results < 2^64); CTS_CHECK-aborts on overflow. Planner
+// arithmetic at K ~ 1000 must use BinomialOr instead.
 std::uint64_t Binomial(int n, int k);
+
+// Non-aborting Binomial: writes C(n, k) to *out and returns true, or
+// returns false (leaving *out untouched) when the value would
+// overflow 64 bits — e.g. C(1000, 8). Scale backends turn that into a
+// structured error instead of a process abort.
+bool BinomialOr(int n, int k, std::uint64_t* out);
 
 // Smallest mask with r bits set: {0, 1, ..., r-1}.
 inline NodeMask FirstSubset(int r) {
-  return r == 0 ? 0u : (r >= 32 ? ~NodeMask{0} : ((NodeMask{1} << r) - 1));
+  return r == 0 ? NodeMask{0}
+                : (r >= kNodeMaskBits ? ~NodeMask{0}
+                                      : ((NodeMask{1} << r) - 1));
 }
 
 // Gosper's hack: the next mask with the same popcount, in ascending
 // numeric (= colex) order. Precondition: mask != 0.
 inline NodeMask NextSubsetSameSize(NodeMask mask) {
-  const NodeMask c = mask & static_cast<NodeMask>(-static_cast<std::int64_t>(mask));
+  // Lowest set bit via unsigned wraparound (no signed cast, which
+  // would be UB-adjacent at the top bit after the 64-bit widening).
+  const NodeMask c = mask & (NodeMask{0} - mask);
   const NodeMask rr = mask + c;
   return (((rr ^ mask) >> 2) / c) | rr;
 }
@@ -44,7 +55,7 @@ inline NodeMask NextSubsetSameSize(NodeMask mask) {
 inline int Popcount(NodeMask mask) { return std::popcount(mask); }
 
 inline bool Contains(NodeMask mask, NodeId node) {
-  return (mask >> node) & 1u;
+  return (mask >> node) & NodeMask{1};
 }
 
 inline NodeMask WithNode(NodeMask mask, NodeId node) {

@@ -178,4 +178,57 @@ class Buffer {
   std::size_t cursor_ = 0;
 };
 
+// Thread-local free list of payload byte vectors for the shuffle hot
+// path. At K~100 every message the transport moves allocates a payload
+// copy (Comm::deliver) that the receiver frees right after consuming
+// it; recycling the backing vectors removes that churn. The pool is
+// per-thread and lock-free: a node thread both sends (acquire) and
+// receives (release) in roughly equal measure during a shuffle, so the
+// pools balance without cross-thread traffic.
+class BufferArena {
+ public:
+  // The calling thread's arena.
+  static BufferArena& Local() {
+    thread_local BufferArena arena;
+    return arena;
+  }
+
+  // An empty vector with capacity >= capacity_hint, reusing a pooled
+  // backing store when one is available.
+  std::vector<std::uint8_t> acquire(std::size_t capacity_hint) {
+    std::vector<std::uint8_t> v;
+    if (!pool_.empty()) {
+      v = std::move(pool_.back());
+      pool_.pop_back();
+      v.clear();
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    v.reserve(capacity_hint);
+    return v;
+  }
+
+  // Returns a backing store to the pool. Bounded in count and per-entry
+  // capacity so a burst of jumbo payloads cannot pin memory forever.
+  void release(std::vector<std::uint8_t> bytes) {
+    if (pool_.size() >= kMaxPooled || bytes.capacity() > kMaxPooledCapacity) {
+      return;  // drop: freed by the vector destructor
+    }
+    pool_.push_back(std::move(bytes));
+  }
+
+  std::size_t pooled() const { return pool_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  static constexpr std::size_t kMaxPooled = 256;
+  static constexpr std::size_t kMaxPooledCapacity = std::size_t{8} << 20;
+
+  std::vector<std::vector<std::uint8_t>> pool_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
 }  // namespace cts

@@ -19,10 +19,19 @@ using PartitionId = int;
 // CodedTeraSort files are colex ranks of r-subsets, 0..C(K,r)-1.
 using FileId = int;
 
-// Bitmask over nodes; bit k set means node k is a member. The library
-// supports at most kMaxNodes nodes so a subset always fits in 32 bits.
-using NodeMask = std::uint32_t;
+// Bitmask over nodes; bit k set means node k is a member. Subsets of
+// up to kMaxNodes nodes fit in one mask; the live harness and the
+// priced-only scale backend both run clusters larger than kMaxNodes,
+// but coded placements (which are mask-indexed) cap at kMaxNodes.
+using NodeMask = std::uint64_t;
 
-inline constexpr int kMaxNodes = 32;
+// Width of NodeMask in bits. Every "shift by K" guard must key off
+// this, not a literal, so widening the mask cannot silently leave a
+// stale boundary behind (the old 32-bit guard bug).
+inline constexpr int kNodeMaskBits = 64;
+static_assert(sizeof(NodeMask) * 8 == kNodeMaskBits,
+              "kNodeMaskBits must match the NodeMask type width");
+
+inline constexpr int kMaxNodes = kNodeMaskBits;
 
 }  // namespace cts

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "job/registry.h"
+#include "simulate/simulate.h"
 
 namespace cts::job {
 
@@ -45,6 +46,8 @@ const char* BackendName(Backend backend) {
       return "priced";
     case Backend::kReplay:
       return "replay";
+    case Backend::kSimulated:
+      return "simulated";
   }
   CTS_CHECK_MSG(false, "unreachable backend");
   return "live";
@@ -122,15 +125,42 @@ std::shared_ptr<const simscen::ScenarioRun> RunCache::GetScenarioRun(
 
 JobResult RunJob(const JobSpec& spec, RunCache& cache) {
   const AlgorithmInfo& info = FindOrDie(spec.algorithm);
-  // kPriced is the closed-form backend; it has no way to honor a
-  // scenario, and silently ignoring one would label an unmitigated
-  // run as a scenario cell. Price scenarios with kReplay.
-  CTS_CHECK_MSG(
-      !(spec.backend == Backend::kPriced && spec.scenario.has_value()),
-      "Backend::kPriced ignores scenarios — use Backend::kReplay");
+  // kPriced/kSimulated are the closed-form backends; they have no way
+  // to honor a scenario, and silently ignoring one would label an
+  // unmitigated run as a scenario cell. Price scenarios with kReplay.
+  CTS_CHECK_MSG(!((spec.backend == Backend::kPriced ||
+                   spec.backend == Backend::kSimulated) &&
+                  spec.scenario.has_value()),
+                "closed-form backends ignore scenarios — use "
+                "Backend::kReplay");
 
   JobResult result;
   result.spec = spec;
+
+  // kSimulated deliberately bypasses the cache: RunCache::Get executes
+  // the live harness on a miss, and never executing is this backend's
+  // entire point.
+  if (spec.backend == Backend::kSimulated) {
+    result.algorithm = spec.algorithm;
+    simulate::SynthesisResult synth =
+        simulate::SynthesizeRun(spec.algorithm, spec.config);
+    if (!synth.ok()) {
+      result.error = std::move(synth.error);
+      return result;
+    }
+    result.execution = std::move(synth.run);
+    result.algorithm = result.execution->algorithm;
+    const RunScale scale = PaperScale(
+        spec.config.num_records, spec.paper_records == 0
+                                     ? spec.config.num_records
+                                     : spec.paper_records);
+    result.breakdown =
+        SimulateRun(*result.execution, CostModel{}, scale, spec.schedule);
+    result.priced = true;
+    result.makespan = result.breakdown.total();
+    return result;
+  }
+
   result.execution = cache.Get(spec.algorithm, spec.config);
   result.algorithm = result.execution->algorithm;
 
@@ -174,6 +204,9 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
       FillMitigationStats(*result.outcome, result);
       break;
     }
+    case Backend::kSimulated:
+      CTS_CHECK_MSG(false, "kSimulated returns above");
+      break;
   }
   result.makespan = result.breakdown.total();
   return result;

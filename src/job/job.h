@@ -45,6 +45,15 @@ enum class Backend {
   // (simscen::ReplayScenario); unpriced algorithms replay their
   // measured ComputeEvents at executed scale instead.
   kReplay,
+  // Like kPriced, but the measured run itself is synthesized
+  // arithmetically (simulate::SynthesizeRun) instead of executed on
+  // the thread harness — no threads, no records, no transport. The
+  // breakdown is byte-identical to kPriced wherever both can run;
+  // unlike kPriced, K is bounded by 64-bit placement arithmetic
+  // (K ~ 1000) rather than by live execution. Specs the synthesizer
+  // cannot honor (CMR, kDistributedSampled, binomial overflow) come
+  // back as JobResult::error, never a process abort.
+  kSimulated,
 };
 
 const char* BackendName(Backend backend);
@@ -69,6 +78,10 @@ struct JobResult {
   JobSpec spec;
   std::string algorithm;  // display name, e.g. "CodedTeraSort"
   bool priced = false;    // whether the breakdown is paper-scale
+  // Non-empty when the backend could not produce a result for this
+  // spec (Backend::kSimulated only); every other field except `spec`
+  // and `algorithm` is then default-valued.
+  std::string error;
   // The measured run (shared with the RunCache when one was used).
   std::shared_ptr<const AlgorithmResult> execution;
   // Per-stage seconds of the requested view.

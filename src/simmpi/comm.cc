@@ -23,7 +23,11 @@ int Comm::rank_of_global(NodeId node) const {
 
 void Comm::deliver(int dst_rank, Tag tag,
                    std::span<const std::uint8_t> payload) {
-  Buffer copy;
+  // Payload copies come from the thread-local arena; consumers on the
+  // shuffle hot path hand the backing store back (see
+  // terasort/coded_terasort), so steady-state shuffles stop
+  // allocating.
+  Buffer copy(BufferArena::Local().acquire(payload.size()));
   copy.write_bytes(payload);
   world_->mailbox(global(dst_rank)).deliver(id_, my_global(), tag,
                                             std::move(copy));
@@ -147,6 +151,13 @@ void Comm::bcast(int root_rank, Buffer& payload) {
   } else {
     payload = world_->mailbox(my_global())
                   .receive(id_, global(root_rank), kTagBcast);
+  }
+}
+
+void Comm::bcast_put(const Buffer& payload) {
+  for (int m = 0; m < size(); ++m) {
+    if (m == rank_) continue;
+    deliver(m, kTagBcast, payload.span());
   }
 }
 

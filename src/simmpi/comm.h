@@ -167,6 +167,14 @@ class Comm {
   // other ranks it is overwritten with the received copy.
   void bcast(int root_rank, Buffer& payload);
 
+  // Root half of a bcast with the accounting split out: delivers
+  // `payload` to every other member WITHOUT recording a multicast.
+  // Callers must account the transmission themselves — the overlapped
+  // multicast round prices a whole round of these through
+  // TrafficStats::record_multicast_batch in one call. Receivers pair
+  // it with ibcast_recv as usual.
+  void bcast_put(const Buffer& payload);
+
   // Synchronizes all members (token to rank 0, token back).
   void barrier();
 

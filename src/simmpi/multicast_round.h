@@ -27,7 +27,10 @@ namespace cts::simmpi {
 // Overlapped: every member posts receives for all its groups' packets
 // (ibcast_recv), fires its own multicast in every group without
 // waiting for a turn, then drains — the whole round is in flight at
-// once.
+// once. The overlapped path accounts its whole round of sends in ONE
+// TrafficStats::record_multicast_batch call (same counters and
+// per-sender seq order as per-bcast accounting; one lock instead of
+// C(K-1, r) per node).
 inline std::map<std::pair<NodeMask, NodeId>, Buffer> MulticastRound(
     std::map<NodeMask, Comm>& groups, std::map<NodeMask, Buffer>& outgoing,
     bool overlapped) {
@@ -41,7 +44,26 @@ inline std::map<std::pair<NodeMask, NodeId>, Buffer> MulticastRound(
                            gc.ibcast_recv(root));
       }
     }
-    for (auto& [g, gc] : groups) gc.bcast(gc.rank(), outgoing.at(g));
+    std::vector<MulticastEvent> events;
+    events.reserve(groups.size());
+    for (auto& [g, gc] : groups) {
+      if (gc.size() <= 1) continue;  // mirror bcast's singleton no-op
+      MulticastEvent e;
+      e.bytes = outgoing.at(g).size();
+      e.src = gc.my_global();
+      e.recipients.reserve(static_cast<std::size_t>(gc.size()) - 1);
+      for (int m = 0; m < gc.size(); ++m) {
+        if (m != gc.rank()) e.recipients.push_back(gc.global(m));
+      }
+      events.push_back(std::move(e));
+    }
+    if (!groups.empty()) {
+      groups.begin()->second.world().stats().record_multicast_batch(events);
+    }
+    for (auto& [g, gc] : groups) {
+      if (gc.size() <= 1) continue;
+      gc.bcast_put(outgoing.at(g));
+    }
     for (auto& [key, req] : recvs) incoming.emplace(key, Comm::wait(req));
   } else {
     for (auto& [g, gc] : groups) {

@@ -9,10 +9,35 @@
 // algorithms (the paper executes stages "one after another in a
 // synchronous manner"), so a single global current-stage label is
 // sufficient and race-free between barriers.
+//
+// Scale: at K~100 every shuffle send from every node thread hits this
+// object, so the counters are sharded. A stage holds kStripes stripes,
+// each with its own mutex, counter block, per-node byte vector and
+// transmission-log shard; a record locks only stripe (src mod
+// kStripes). Readers aggregate the stripes (counter sums, element-wise
+// per-node sums, log merge by seq). Seq numbers come from one per-stage
+// atomic, consumed only when an entry is actually logged, so the merged
+// log still satisfies the simnet contract: seqs unique per stage,
+// contiguous from 0, and within one sender seq order IS program order
+// (a node thread draws its seqs sequentially).
+//
+// set_stage contract vs. overlapped shuffles (audited): set_stage must
+// be called only between stage barriers (all nodes quiescent). The
+// ShuffleSync::kOverlapped paths satisfy this because nonblocking sends
+// account at INITIATION (see comm.h) and every initiation happens
+// inside the stage body, i.e. after StageRunner's label barrier and
+// before the next stage's entry barrier — bytes initiated before a
+// relabel are attributed to the initiating stage even if the matching
+// wait() drains after it. The relabel itself is an atomic pointer swap,
+// so a racing record (a contract violation) would still land intact on
+// one side or the other, never on a torn stage.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -58,71 +83,125 @@ struct ChannelCounters {
   }
 };
 
-// Thread-safe per-stage counter registry.
+// One logical multicast of an overlapped round, for
+// record_multicast_batch: a whole round of them is priced under a
+// single stripe lock and a single seq-block reservation.
+struct MulticastEvent {
+  std::uint64_t bytes = 0;
+  NodeId src = -1;
+  std::vector<NodeId> recipients;  // ascending node order
+};
+
+// Thread-safe per-stage counter registry (sharded; see file comment).
 class TrafficStats {
  public:
-  explicit TrafficStats(int num_nodes = 0) : num_nodes_(num_nodes) {}
+  explicit TrafficStats(int num_nodes = 0) : num_nodes_(num_nodes) {
+    current_.store(materialize("", /*named=*/false),
+                   std::memory_order_release);
+  }
+
+  TrafficStats(const TrafficStats&) = delete;
+  TrafficStats& operator=(const TrafficStats&) = delete;
 
   // Sets the label under which subsequent traffic is recorded.
-  // Call only between stage barriers (all nodes quiescent).
+  // Call only between stage barriers (all nodes quiescent) — see the
+  // overlapped-shuffle audit in the file comment.
   void set_stage(const std::string& stage) {
-    std::lock_guard lock(mu_);
-    current_ = stage;
-    (void)stages_[current_];  // materialize so empty stages still report
+    current_.store(materialize(stage, /*named=*/true),
+                   std::memory_order_release);
   }
 
   std::string current_stage() const {
-    std::lock_guard lock(mu_);
-    return current_;
+    return current_.load(std::memory_order_acquire)->name;
   }
 
   void record_unicast(std::uint64_t bytes, NodeId src = -1,
                       NodeId dst = -1) {
-    std::lock_guard lock(mu_);
-    auto& c = stages_[current_];
-    ++c.unicast_msgs;
-    c.unicast_bytes += bytes;
-    if (src >= 0) node_traffic(src).tx_bytes += bytes;
-    if (dst >= 0) node_traffic(dst).rx_bytes += bytes;
+    Stage& s = *current_.load(std::memory_order_acquire);
+    Stripe& st = s.stripe_for(src);
+    std::lock_guard lock(st.mu);
+    ++st.counters.unicast_msgs;
+    st.counters.unicast_bytes += bytes;
+    if (src >= 0) st.node_traffic(num_nodes_, src).tx_bytes += bytes;
+    if (dst >= 0) st.node_traffic(num_nodes_, dst).rx_bytes += bytes;
     if (src >= 0 && dst >= 0) {
-      auto& log = logs_[current_];
-      log.push_back({src, {dst}, bytes, log.size()});
+      st.log.push_back(
+          {src, {dst}, bytes,
+           s.next_seq.fetch_add(1, std::memory_order_relaxed)});
     }
   }
 
   void record_multicast(std::uint64_t bytes, int receivers,
                         NodeId src = -1,
                         const std::vector<NodeId>& recipients = {}) {
-    std::lock_guard lock(mu_);
-    auto& c = stages_[current_];
-    ++c.mcast_msgs;
-    c.mcast_bytes += bytes;
-    c.mcast_recipient_bytes += bytes * static_cast<std::uint64_t>(receivers);
+    Stage& s = *current_.load(std::memory_order_acquire);
+    Stripe& st = s.stripe_for(src);
+    std::lock_guard lock(st.mu);
+    ++st.counters.mcast_msgs;
+    st.counters.mcast_bytes += bytes;
+    st.counters.mcast_recipient_bytes +=
+        bytes * static_cast<std::uint64_t>(receivers);
     // One transmission occupies the sender's uplink once; each
     // recipient's downlink carries a full copy.
-    if (src >= 0) node_traffic(src).tx_bytes += bytes;
-    for (const NodeId d : recipients) node_traffic(d).rx_bytes += bytes;
+    if (src >= 0) st.node_traffic(num_nodes_, src).tx_bytes += bytes;
+    for (const NodeId d : recipients) {
+      st.node_traffic(num_nodes_, d).rx_bytes += bytes;
+    }
     if (src >= 0 && !recipients.empty()) {
-      auto& log = logs_[current_];
-      log.push_back({src, recipients, bytes, log.size()});
+      st.log.push_back(
+          {src, recipients, bytes,
+           s.next_seq.fetch_add(1, std::memory_order_relaxed)});
+    }
+  }
+
+  // Batched accounting for one sender's multicast round: every event
+  // must have the SAME src (one stripe), and the per-event fan-out is
+  // recipients.size(). Equivalent to calling record_multicast once per
+  // event, but with a single lock acquisition and a single contiguous
+  // seq block — per-sender program order is preserved because the
+  // block is drawn by the sending thread itself.
+  void record_multicast_batch(const std::vector<MulticastEvent>& events) {
+    if (events.empty()) return;
+    Stage& s = *current_.load(std::memory_order_acquire);
+    const NodeId src = events.front().src;
+    std::uint64_t seq =
+        s.next_seq.fetch_add(events.size(), std::memory_order_relaxed);
+    Stripe& st = s.stripe_for(src);
+    std::lock_guard lock(st.mu);
+    for (const MulticastEvent& e : events) {
+      ++st.counters.mcast_msgs;
+      st.counters.mcast_bytes += e.bytes;
+      st.counters.mcast_recipient_bytes +=
+          e.bytes * static_cast<std::uint64_t>(e.recipients.size());
+      if (e.src >= 0) st.node_traffic(num_nodes_, e.src).tx_bytes += e.bytes;
+      for (const NodeId d : e.recipients) {
+        st.node_traffic(num_nodes_, d).rx_bytes += e.bytes;
+      }
+      if (e.src >= 0 && !e.recipients.empty()) {
+        st.log.push_back({e.src, e.recipients, e.bytes, seq});
+      }
+      ++seq;
     }
   }
 
   void record_comm_creation(std::uint64_t count = 1) {
-    std::lock_guard lock(mu_);
-    stages_[current_].comm_creations += count;
+    Stage& s = *current_.load(std::memory_order_acquire);
+    Stripe& st = s.stripes[0];  // creations carry no src; stripe 0
+    std::lock_guard lock(st.mu);
+    st.counters.comm_creations += count;
   }
 
   ChannelCounters stage(const std::string& name) const {
     std::lock_guard lock(mu_);
     const auto it = stages_.find(name);
-    return it == stages_.end() ? ChannelCounters{} : it->second;
+    return it == stages_.end() ? ChannelCounters{}
+                               : it->second->aggregate();
   }
 
   ChannelCounters total() const {
     std::lock_guard lock(mu_);
     ChannelCounters t;
-    for (const auto& [name, c] : stages_) t += c;
+    for (const auto& [name, s] : stages_) t += s->aggregate();
     return t;
   }
 
@@ -130,7 +209,13 @@ class TrafficStats {
     std::lock_guard lock(mu_);
     std::vector<std::string> names;
     names.reserve(stages_.size());
-    for (const auto& [name, c] : stages_) names.push_back(name);
+    for (const auto& [name, s] : stages_) {
+      // The default "" stage exists from construction so the atomic
+      // current-stage pointer is never null; report it only if it was
+      // explicitly set or actually absorbed traffic.
+      if (!s->named && s->empty()) continue;
+      names.push_back(name);
+    }
     return names;
   }
 
@@ -138,43 +223,125 @@ class TrafficStats {
   // the stats were constructed without a node count).
   std::vector<NodeTraffic> per_node(const std::string& stage) const {
     std::lock_guard lock(mu_);
-    const auto it = per_node_.find(stage);
-    return it == per_node_.end() ? std::vector<NodeTraffic>{} : it->second;
+    const auto it = stages_.find(stage);
+    return it == stages_.end() ? std::vector<NodeTraffic>{}
+                               : it->second->aggregate_per_node();
   }
 
   // Ordered transmissions of one stage (initiation order), for
   // discrete-event replay by simnet::ParallelMakespan et al.
   simnet::TransmissionLog transmission_log(const std::string& stage) const {
     std::lock_guard lock(mu_);
-    const auto it = logs_.find(stage);
-    return it == logs_.end() ? simnet::TransmissionLog{} : it->second;
+    const auto it = stages_.find(stage);
+    return it == stages_.end() ? simnet::TransmissionLog{}
+                               : it->second->merged_log();
   }
 
+  // Call only while no node thread is recording (same quiescence
+  // requirement as set_stage).
   void reset() {
     std::lock_guard lock(mu_);
     stages_.clear();
-    per_node_.clear();
-    logs_.clear();
-    current_.clear();
+    current_.store(materialize_locked("", /*named=*/false),
+                   std::memory_order_release);
   }
 
  private:
-  // Requires mu_ held.
-  NodeTraffic& node_traffic(NodeId node) {
-    auto& v = per_node_[current_];
-    if (v.size() <= static_cast<std::size_t>(node)) {
-      v.resize(std::max<std::size_t>(static_cast<std::size_t>(num_nodes_),
-                                     static_cast<std::size_t>(node) + 1));
+  // Stripe count: enough that K~100 sender threads rarely collide on
+  // one mutex, small enough that read-side aggregation stays trivial.
+  static constexpr int kStripes = 32;
+
+  struct Stripe {
+    mutable std::mutex mu;
+    ChannelCounters counters;
+    std::vector<NodeTraffic> per_node;
+    simnet::TransmissionLog log;
+
+    // Requires mu held.
+    NodeTraffic& node_traffic(int num_nodes, NodeId node) {
+      if (per_node.size() <= static_cast<std::size_t>(node)) {
+        per_node.resize(
+            std::max<std::size_t>(static_cast<std::size_t>(num_nodes),
+                                  static_cast<std::size_t>(node) + 1));
+      }
+      return per_node[static_cast<std::size_t>(node)];
     }
-    return v[static_cast<std::size_t>(node)];
+  };
+
+  struct Stage {
+    std::string name;
+    bool named = false;  // true once set_stage names this stage
+    std::atomic<std::uint64_t> next_seq{0};
+    Stripe stripes[kStripes];
+
+    Stripe& stripe_for(NodeId src) {
+      return stripes[src >= 0 ? src % kStripes : 0];
+    }
+
+    ChannelCounters aggregate() const {
+      ChannelCounters t;
+      for (const Stripe& st : stripes) {
+        std::lock_guard lock(st.mu);
+        t += st.counters;
+      }
+      return t;
+    }
+
+    bool empty() const {
+      const ChannelCounters t = aggregate();
+      return t.unicast_msgs == 0 && t.unicast_bytes == 0 &&
+             t.mcast_msgs == 0 && t.comm_creations == 0 &&
+             next_seq.load(std::memory_order_relaxed) == 0;
+    }
+
+    std::vector<NodeTraffic> aggregate_per_node() const {
+      std::vector<NodeTraffic> out;
+      for (const Stripe& st : stripes) {
+        std::lock_guard lock(st.mu);
+        if (st.per_node.size() > out.size()) out.resize(st.per_node.size());
+        for (std::size_t i = 0; i < st.per_node.size(); ++i) {
+          out[i].tx_bytes += st.per_node[i].tx_bytes;
+          out[i].rx_bytes += st.per_node[i].rx_bytes;
+        }
+      }
+      return out;
+    }
+
+    simnet::TransmissionLog merged_log() const {
+      simnet::TransmissionLog out;
+      for (const Stripe& st : stripes) {
+        std::lock_guard lock(st.mu);
+        out.insert(out.end(), st.log.begin(), st.log.end());
+      }
+      std::sort(out.begin(), out.end(),
+                [](const simnet::Transmission& a,
+                   const simnet::Transmission& b) { return a.seq < b.seq; });
+      return out;
+    }
+  };
+
+  Stage* materialize(const std::string& stage, bool named) {
+    std::lock_guard lock(mu_);
+    return materialize_locked(stage, named);
+  }
+
+  // Requires mu_ held.
+  Stage* materialize_locked(const std::string& stage, bool named) {
+    auto& slot = stages_[stage];
+    if (!slot) {
+      slot = std::make_unique<Stage>();
+      slot->name = stage;
+    }
+    if (named) slot->named = true;
+    return slot.get();
   }
 
   int num_nodes_;
-  mutable std::mutex mu_;
-  std::string current_ = "";
-  std::map<std::string, ChannelCounters> stages_;
-  std::map<std::string, std::vector<NodeTraffic>> per_node_;
-  std::map<std::string, simnet::TransmissionLog> logs_;
+  mutable std::mutex mu_;  // guards stages_ (the registry), not records
+  // Stage objects are owned by stages_ and never destroyed before
+  // reset(), so the lock-free pointer below cannot dangle.
+  std::map<std::string, std::unique_ptr<Stage>> stages_;
+  std::atomic<Stage*> current_;
 };
 
 }  // namespace cts::simmpi

@@ -1,0 +1,469 @@
+#include "simulate/simulate.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "coding/placement.h"
+#include "coding/segments.h"
+#include "combinatorics/subsets.h"
+#include "common/check.h"
+#include "driver/partition_util.h"
+#include "keyvalue/recordio.h"
+#include "keyvalue/teragen.h"
+
+namespace cts::simulate {
+
+namespace {
+
+using I128 = __int128;
+
+constexpr std::uint64_t kU64Max = ~std::uint64_t{0};
+
+SynthesisResult Err(std::string message) {
+  SynthesisResult r;
+  r.error = std::move(message);
+  return r;
+}
+
+std::string OverflowMessage(int K, int r, const char* what) {
+  std::ostringstream os;
+  os << what << " overflows 64 bits at K=" << K << ", r=" << r
+     << " — reduce r (or K) until the placement arithmetic fits";
+  return os.str();
+}
+
+// Narrows a signed 128-bit accumulator into the u64 counter a live run
+// would have held; false when the exact value cannot fit (a scale no
+// execution could reach either).
+bool Narrow(I128 v, std::uint64_t* out) {
+  if (v < 0 || v > static_cast<I128>(kU64Max)) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+// The file owning record `i` under SplitRange(total, num_files, ·):
+// the first total % num_files files hold one extra record.
+std::uint64_t FileOfRecord(std::uint64_t i, std::uint64_t total,
+                           std::uint64_t num_files) {
+  const std::uint64_t base = total / num_files;
+  const std::uint64_t extra = total % num_files;
+  if (base == 0) return i;
+  const std::uint64_t boundary = extra * (base + 1);
+  return i < boundary ? i / (base + 1) : extra + (i - boundary) / base;
+}
+
+// Largest c in [j-1, K-1] with C(c, j) <= rem; a 64-bit overflowing
+// binomial is by definition > rem. C(j-1, j) == 0, so one exists.
+int LargestBinomialAtMost(int K, int j, std::uint64_t rem) {
+  int lo = j - 1;
+  int hi = K - 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    std::uint64_t v = 0;
+    if (BinomialOr(mid, j, &v) && v <= rem) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+// Vector twin of combinatorics ColexUnrank: ascending members of the
+// rank-th r-subset of {0..K-1}. Mask-free so K is not capped at
+// kNodeMaskBits. Precondition: rank < C(K, r) (and C(K, r) fits).
+std::vector<int> ColexUnrankMembers(int K, int r, std::uint64_t rank) {
+  std::vector<int> members(static_cast<std::size_t>(r));
+  std::uint64_t rem = rank;
+  for (int j = r; j >= 1; --j) {
+    const int c = LargestBinomialAtMost(K, j, rem);
+    members[static_cast<std::size_t>(j - 1)] = c;
+    std::uint64_t v = 0;
+    CTS_CHECK(BinomialOr(c, j, &v));
+    rem -= v;
+  }
+  CTS_CHECK_EQ(rem, std::uint64_t{0});
+  return members;
+}
+
+// Colex rank of an ascending member list: sum of C(member_i, i+1).
+// Precondition: C(K, |members|) fits in 64 bits, so every term and the
+// sum do too.
+std::uint64_t ColexRankMembers(const std::vector<int>& members) {
+  std::uint64_t rank = 0;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    std::uint64_t v = 0;
+    CTS_CHECK(BinomialOr(members[i], static_cast<int>(i) + 1, &v));
+    rank += v;
+  }
+  return rank;
+}
+
+// Shared input-side checks; builds the coordinator-style partitioner.
+SynthesisResult CheckedPartitioner(const SortConfig& config,
+                                   std::unique_ptr<Partitioner>* out) {
+  if (config.num_nodes < 1) return Err("num_nodes must be >= 1");
+  if (config.partitioner == PartitionerKind::kDistributedSampled) {
+    return Err(
+        "kDistributedSampled derives its splitters from a live "
+        "collective; the simulated backend supports kRange and "
+        "kSampled");
+  }
+  *out = MakePartitioner(config);
+  CTS_CHECK_EQ((*out)->num_partitions(), config.num_nodes);
+  return SynthesisResult{};
+}
+
+std::shared_ptr<AlgorithmResult> NewRun(const SortConfig& config,
+                                        const char* algorithm) {
+  auto run = std::make_shared<AlgorithmResult>();
+  run->config = config;
+  run->algorithm = algorithm;
+  run->work.resize(static_cast<std::size_t>(config.num_nodes));
+  return run;
+}
+
+// ---- TeraSort ----
+//
+// Mask-free like the live engine (terasort.cc): node k maps the k-th
+// SplitRange slice, hashes it over the partitioner, and unicasts one
+// packed list to every other node. Everything follows from the K x K
+// histogram n[k][j] = records of node k's slice landing in partition j.
+SynthesisResult SynthesizeTeraSort(SortConfig config) {
+  config.redundancy = 1;  // RunTeraSort reports the degenerate placement
+  std::unique_ptr<Partitioner> partitioner;
+  if (SynthesisResult bad = CheckedPartitioner(config, &partitioner);
+      !bad.ok()) {
+    return bad;
+  }
+  const int K = config.num_nodes;
+  const auto ku = static_cast<std::uint64_t>(K);
+  const TeraGen gen(config.seed, config.distribution);
+
+  std::vector<std::vector<std::uint64_t>> hist(
+      static_cast<std::size_t>(K),
+      std::vector<std::uint64_t>(static_cast<std::size_t>(K), 0));
+  for (int k = 0; k < K; ++k) {
+    const RecordRange range =
+        SplitRange(config.num_records, ku, static_cast<std::uint64_t>(k));
+    for (std::uint64_t i = range.offset; i < range.offset + range.count;
+         ++i) {
+      const PartitionId p = partitioner->partition(gen.record(i).key);
+      ++hist[static_cast<std::size_t>(k)][static_cast<std::size_t>(p)];
+    }
+  }
+
+  auto run = NewRun(config, "TeraSort");
+  simmpi::ChannelCounters shuffle;
+  std::vector<simmpi::NodeTraffic> nodes(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    auto& work = run->work[static_cast<std::size_t>(k)];
+    const RecordRange range =
+        SplitRange(config.num_records, ku, static_cast<std::uint64_t>(k));
+    work.map_bytes = range.count * kRecordBytes;
+    work.map_files = 1;
+    for (int j = 0; j < K; ++j) {
+      if (j == k) continue;
+      const std::uint64_t bytes =
+          PackedSize(hist[static_cast<std::size_t>(k)]
+                         [static_cast<std::size_t>(j)]);
+      work.pack_bytes += bytes;
+      ++shuffle.unicast_msgs;
+      shuffle.unicast_bytes += bytes;
+      nodes[static_cast<std::size_t>(k)].tx_bytes += bytes;
+      nodes[static_cast<std::size_t>(j)].rx_bytes += bytes;
+    }
+  }
+  for (int j = 0; j < K; ++j) {
+    auto& work = run->work[static_cast<std::size_t>(j)];
+    work.unpack_bytes = nodes[static_cast<std::size_t>(j)].rx_bytes;
+    std::uint64_t owned = 0;
+    for (int k = 0; k < K; ++k) {
+      owned += hist[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)];
+    }
+    work.reduce_bytes = owned * kRecordBytes;
+  }
+  run->traffic[stage::kShuffle] = shuffle;
+  if (shuffle.unicast_msgs > 0) run->shuffle_node_traffic = std::move(nodes);
+  run->stage_order = {stage::kMap, stage::kPack, stage::kShuffle,
+                      stage::kUnpack, stage::kReduce};
+  SynthesisResult result;
+  result.run = std::move(run);
+  return result;
+}
+
+// ---- CodedTeraSort ----
+//
+// Per-node accumulators for the coded path, signed 128-bit so the
+// closed-form baseline (added first) and the per-dirty-group
+// corrections (exact minus baseline, either sign) compose without
+// intermediate overflow; narrowed to the live run's u64 counters at
+// the end.
+struct CodedAcc {
+  I128 encode_xor = 0;
+  I128 encode_payload = 0;
+  I128 decode_xor = 0;
+  I128 decoded = 0;
+  I128 tx = 0;
+  I128 rx = 0;
+};
+
+SynthesisResult SynthesizeCoded(const SortConfig& config) {
+  const int K = config.num_nodes;
+  const int r = config.redundancy;
+  if (K < 1) return Err("num_nodes must be >= 1");
+  if (r < 1 || r > K) {
+    return Err("redundancy must satisfy 1 <= r <= K for CodedTeraSort");
+  }
+  std::uint64_t num_files = 0;
+  std::uint64_t files_per_node = 0;
+  std::uint64_t num_groups = 0;       // C(K, r+1), 0 when r == K
+  std::uint64_t groups_per_node = 0;  // C(K-1, r)
+  if (!BinomialOr(K, r, &num_files)) {
+    return Err(OverflowMessage(K, r, "the file count C(K, r)"));
+  }
+  CTS_CHECK(BinomialOr(K - 1, r - 1, &files_per_node));
+  if (r < K) {
+    if (!BinomialOr(K, r + 1, &num_groups)) {
+      return Err(OverflowMessage(K, r, "the group count C(K, r+1)"));
+    }
+    CTS_CHECK(BinomialOr(K - 1, r, &groups_per_node));
+  }
+  std::unique_ptr<Partitioner> partitioner;
+  if (SynthesisResult bad = CheckedPartitioner(config, &partitioner);
+      !bad.ok()) {
+    return bad;
+  }
+  const TeraGen gen(config.seed, config.distribution);
+
+  // Closed forms of one group slot, all files empty. A group member at
+  // ascending index q sees its q smaller co-members at segment
+  // position q-1 of their target files and the r-q larger ones at
+  // position q (removing a smaller node shifts this node's index down
+  // by one). s8[p] is one segment of an empty packed value.
+  const std::uint64_t empty_packed = PackedSize(0);
+  std::vector<std::uint64_t> s8(static_cast<std::size_t>(r));
+  for (int p = 0; p < r; ++p) {
+    s8[static_cast<std::size_t>(p)] = SegmentOf(empty_packed, r, p).length;
+  }
+  const int slots = r + 1;
+  std::vector<std::uint64_t> e8(static_cast<std::size_t>(slots));
+  std::vector<std::uint64_t> p8(static_cast<std::size_t>(slots));
+  std::vector<std::uint64_t> wire8(static_cast<std::size_t>(slots));
+  std::uint64_t wire8_sum = 0;
+  const std::uint64_t header =  // CodedPacket wire minus payload:
+      4 + 8 * static_cast<std::uint64_t>(r) + 8;
+  for (int q = 0; q < slots; ++q) {
+    const std::uint64_t below =
+        q > 0 ? s8[static_cast<std::size_t>(q - 1)] : 0;
+    const std::uint64_t above = q < r ? s8[static_cast<std::size_t>(q)] : 0;
+    e8[static_cast<std::size_t>(q)] =
+        static_cast<std::uint64_t>(q) * below +
+        static_cast<std::uint64_t>(r - q) * above;
+    p8[static_cast<std::size_t>(q)] = std::max(below, above);
+    wire8[static_cast<std::size_t>(q)] =
+        header + p8[static_cast<std::size_t>(q)];
+    wire8_sum += wire8[static_cast<std::size_t>(q)];
+  }
+
+  // Baseline: node k sits at slot q in C(k, q) * C(K-1-k, r-q) groups.
+  std::vector<CodedAcc> acc(static_cast<std::size_t>(K));
+  if (r < K) {
+    for (int k = 0; k < K; ++k) {
+      CodedAcc& a = acc[static_cast<std::size_t>(k)];
+      for (int q = 0; q < slots; ++q) {
+        std::uint64_t choose_below = 0;
+        std::uint64_t choose_above = 0;
+        const bool below_ok = BinomialOr(k, q, &choose_below);
+        const bool above_ok = BinomialOr(K - 1 - k, r - q, &choose_above);
+        if ((below_ok && choose_below == 0) ||
+            (above_ok && choose_above == 0)) {
+          continue;  // no group puts k at slot q
+        }
+        // Both factors nonzero: their product is bounded by
+        // C(K-1, r), which fits (groups_per_node above), so neither
+        // factor can have overflowed.
+        CTS_CHECK(below_ok && above_ok);
+        const I128 cnt = static_cast<I128>(choose_below) * choose_above;
+        a.encode_xor += cnt * e8[static_cast<std::size_t>(q)];
+        a.encode_payload += cnt * p8[static_cast<std::size_t>(q)];
+        // Per slot, decode cancels everything the co-members' packets
+        // carry for other targets: sum of their values minus what this
+        // node XORed in at encode time.
+        a.decode_xor +=
+            cnt * (static_cast<std::uint64_t>(r) * empty_packed -
+                   e8[static_cast<std::size_t>(q)]);
+        a.tx += cnt * wire8[static_cast<std::size_t>(q)];
+        a.rx += cnt * (wire8_sum - wire8[static_cast<std::size_t>(q)]);
+      }
+      a.decoded = static_cast<I128>(empty_packed) * groups_per_node;
+    }
+  }
+
+  // Stream the input once. Each record lands in exactly one file
+  // (FileOfRecord) and one partition; only the (file, partition) cells
+  // with the partition OUTSIDE the file's node set shape the coding
+  // (inside, the record either goes straight to its owner's reduce
+  // pool or is a discarded duplicate), so only those become sparse
+  // state. Everything else folds into per-node scalars here.
+  std::map<std::uint64_t, std::map<int, std::uint64_t>> file_cells;
+  std::vector<std::uint64_t> partition_records(static_cast<std::size_t>(K),
+                                               0);
+  std::vector<std::uint64_t> mapped_records(static_cast<std::size_t>(K), 0);
+  std::uint64_t cached_rank = kU64Max;
+  std::vector<int> cached_members;
+  for (std::uint64_t i = 0; i < config.num_records; ++i) {
+    const std::uint64_t f = FileOfRecord(i, config.num_records, num_files);
+    if (f != cached_rank || cached_members.empty()) {
+      cached_members = ColexUnrankMembers(K, r, f);
+      cached_rank = f;
+    }
+    const PartitionId t = partitioner->partition(gen.record(i).key);
+    ++partition_records[static_cast<std::size_t>(t)];
+    for (const int m : cached_members) {
+      ++mapped_records[static_cast<std::size_t>(m)];
+    }
+    if (!std::binary_search(cached_members.begin(), cached_members.end(),
+                            t)) {
+      ++file_cells[f][t];
+    }
+  }
+
+  // Dirty groups: group S + {t} deviates from the all-empty baseline
+  // exactly when some member's target value n[S][t] is nonzero — at
+  // most one group per nonzero cell, so at most num_records of them.
+  std::map<std::uint64_t, std::vector<int>> dirty;
+  if (r < K) {
+    for (const auto& [frank, cells] : file_cells) {
+      const std::vector<int> members = ColexUnrankMembers(K, r, frank);
+      for (const auto& [t, n] : cells) {
+        std::vector<int> g = members;
+        g.insert(std::upper_bound(g.begin(), g.end(), t), t);
+        dirty.emplace(ColexRankMembers(g), std::move(g));
+      }
+    }
+  }
+
+  // Per dirty group: recompute every member's exact encode/decode and
+  // wire contribution and replace the baseline slot values.
+  std::vector<std::uint64_t> value_len(static_cast<std::size_t>(slots));
+  std::vector<std::uint64_t> wire(static_cast<std::size_t>(slots));
+  for (const auto& [grank, g] : dirty) {
+    (void)grank;
+    std::uint64_t len_sum = 0;
+    for (int j = 0; j < slots; ++j) {
+      // Member j's incoming value lives in file g \ {g[j]}.
+      std::vector<int> file = g;
+      file.erase(file.begin() + j);
+      std::uint64_t n = 0;
+      if (const auto fit = file_cells.find(ColexRankMembers(file));
+          fit != file_cells.end()) {
+        if (const auto cit = fit->second.find(g[static_cast<std::size_t>(j)]);
+            cit != fit->second.end()) {
+          n = cit->second;
+        }
+      }
+      value_len[static_cast<std::size_t>(j)] = PackedSize(n);
+      len_sum += value_len[static_cast<std::size_t>(j)];
+    }
+    std::uint64_t wire_sum = 0;
+    for (int q = 0; q < slots; ++q) {
+      CodedAcc& a = acc[static_cast<std::size_t>(g[static_cast<std::size_t>(q)])];
+      std::uint64_t xor_bytes = 0;
+      std::uint64_t payload = 0;
+      for (int j = 0; j < slots; ++j) {
+        if (j == q) continue;
+        const int position = q - (j < q ? 1 : 0);
+        const std::uint64_t seg =
+            SegmentOf(value_len[static_cast<std::size_t>(j)], r, position)
+                .length;
+        xor_bytes += seg;
+        payload = std::max(payload, seg);
+      }
+      wire[static_cast<std::size_t>(q)] = header + payload;
+      wire_sum += wire[static_cast<std::size_t>(q)];
+      a.encode_xor += static_cast<I128>(xor_bytes) -
+                      e8[static_cast<std::size_t>(q)];
+      a.encode_payload += static_cast<I128>(payload) -
+                          p8[static_cast<std::size_t>(q)];
+      a.decoded += static_cast<I128>(value_len[static_cast<std::size_t>(q)]) -
+                   empty_packed;
+      a.decode_xor +=
+          (static_cast<I128>(len_sum) -
+           value_len[static_cast<std::size_t>(q)] - xor_bytes) -
+          (static_cast<I128>(static_cast<std::uint64_t>(r) * empty_packed) -
+           e8[static_cast<std::size_t>(q)]);
+      a.tx += static_cast<I128>(wire[static_cast<std::size_t>(q)]) -
+              wire8[static_cast<std::size_t>(q)];
+    }
+    for (int q = 0; q < slots; ++q) {
+      acc[static_cast<std::size_t>(g[static_cast<std::size_t>(q)])].rx +=
+          (static_cast<I128>(wire_sum) - wire[static_cast<std::size_t>(q)]) -
+          (static_cast<I128>(wire8_sum) -
+           wire8[static_cast<std::size_t>(q)]);
+    }
+  }
+
+  // Assemble the run.
+  auto run = NewRun(config, "CodedTeraSort");
+  std::vector<simmpi::NodeTraffic> nodes(static_cast<std::size_t>(K));
+  I128 mcast_bytes = 0;
+  const auto overflow = [&] {
+    return Err(OverflowMessage(K, r, "a 64-bit traffic counter"));
+  };
+  for (int k = 0; k < K; ++k) {
+    const CodedAcc& a = acc[static_cast<std::size_t>(k)];
+    auto& work = run->work[static_cast<std::size_t>(k)];
+    work.map_bytes = mapped_records[static_cast<std::size_t>(k)] *
+                     kRecordBytes;
+    work.map_files = files_per_node;
+    work.reduce_bytes =
+        partition_records[static_cast<std::size_t>(k)] * kRecordBytes;
+    work.codec.packets_encoded = groups_per_node;
+    work.codec.packets_decoded =
+        static_cast<std::uint64_t>(r) * groups_per_node;
+    if (!Narrow(a.encode_xor, &work.codec.encode_xor_bytes) ||
+        !Narrow(a.encode_payload, &work.codec.encode_payload_bytes) ||
+        !Narrow(a.decode_xor, &work.codec.decode_xor_bytes) ||
+        !Narrow(a.decoded, &work.codec.decoded_bytes) ||
+        !Narrow(a.tx, &nodes[static_cast<std::size_t>(k)].tx_bytes) ||
+        !Narrow(a.rx, &nodes[static_cast<std::size_t>(k)].rx_bytes)) {
+      return overflow();
+    }
+    mcast_bytes += a.tx;
+  }
+  simmpi::ChannelCounters shuffle;
+  const I128 mcast_msgs = static_cast<I128>(slots) * num_groups;
+  if (!Narrow(mcast_msgs, &shuffle.mcast_msgs) ||
+      !Narrow(mcast_bytes, &shuffle.mcast_bytes) ||
+      !Narrow(mcast_bytes * r, &shuffle.mcast_recipient_bytes)) {
+    return overflow();
+  }
+  simmpi::ChannelCounters codegen;
+  codegen.comm_creations = num_groups;  // both CodeGenModes create one
+                                        // communicator per group
+  run->traffic[stage::kCodeGen] = codegen;
+  run->traffic[stage::kShuffle] = shuffle;
+  if (shuffle.mcast_msgs > 0) run->shuffle_node_traffic = std::move(nodes);
+  run->stage_order = {stage::kCodeGen, stage::kMap, stage::kEncode,
+                      stage::kShuffle, stage::kDecode, stage::kReduce};
+  SynthesisResult result;
+  result.run = std::move(run);
+  return result;
+}
+
+}  // namespace
+
+SynthesisResult SynthesizeRun(const std::string& algorithm,
+                              const SortConfig& config) {
+  if (algorithm == "terasort") return SynthesizeTeraSort(config);
+  if (algorithm == "coded") return SynthesizeCoded(config);
+  return Err("algorithm '" + algorithm +
+             "' has no synthesized pricing (supported: terasort, coded)");
+}
+
+}  // namespace cts::simulate

@@ -25,20 +25,19 @@ void TeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
   const NodeId self = comm.my_global();
 
   // File placement: the r = 1 degenerate placement puts file k on node
-  // k (FileId == NodeId for singleton subsets in colex order).
-  const Placement placement = Placement::Create(K, /*r=*/1);
-  const auto ranges = placement.SplitRecords(config.num_records);
+  // k. Computed directly (not via Placement, whose masks cap at
+  // kMaxNodes) so plain TeraSort scales to K ~ 100 live nodes.
+  const RecordRange my_range =
+      SplitRange(config.num_records, static_cast<std::uint64_t>(K),
+                 static_cast<std::uint64_t>(self));
   const TeraGen gen(config.seed, config.distribution);
 
   // kDistributedSampled replaces the coordinator's partition file with
   // Hadoop-style collective sampling (collective on the world comm).
   std::unique_ptr<Partitioner> partitioner;
   if (config.partitioner == PartitionerKind::kDistributedSampled) {
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> local;
-    for (const FileId f : placement.files_on_node(self)) {
-      const auto fi = static_cast<std::size_t>(f);
-      local.emplace_back(ranges.offset[fi], ranges.count[fi]);
-    }
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> local{
+        {my_range.offset, my_range.count}};
     partitioner = std::make_unique<SampledPartitioner>(
         BuildDistributedSampledPartitioner(comm, gen, local,
                                            config.sample_size));
@@ -58,8 +57,7 @@ void TeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
 
   // ---- Map ----
   stages.run(stage::kMap, [&] {
-    const std::size_t f = static_cast<std::size_t>(self);
-    const auto records = gen.generate(ranges.offset[f], ranges.count[f]);
+    const auto records = gen.generate(my_range.offset, my_range.count);
     for (const Record& rec : records) {
       const PartitionId p = partitioner->partition(rec.key);
       hashed[static_cast<std::size_t>(p)].push_back(rec);
@@ -124,6 +122,9 @@ void TeraSortNode(simmpi::Comm& comm, RunRecorder& recorder,
       auto& buf = received[static_cast<std::size_t>(sender)];
       work.unpack_bytes += buf.size();
       UnpackRecordsInto(buf, pool);
+      // Shuffle payloads are arena-backed (Comm::deliver); hand the
+      // storage back now that the records are unpacked.
+      BufferArena::Local().release(buf.take());
     }
   });
 

@@ -146,19 +146,74 @@ TEST(Subsets, EveryRSubsetAppearsExactlyOnce) {
 TEST(Subsets, GospersHackMatchesNaiveEnumeration) {
   const int K = 10, r = 4;
   std::vector<NodeMask> naive;
-  for (NodeMask m = 0; m < (1u << K); ++m) {
+  for (NodeMask m = 0; m < (NodeMask{1} << K); ++m) {
     if (Popcount(m) == r) naive.push_back(m);
   }
   EXPECT_EQ(AllSubsets(K, r), naive);
 }
 
 TEST(Subsets, FullWidthUniverse) {
-  // K = 32 exercises the shift-overflow guard paths.
-  const auto subsets = AllSubsets(32, 31);
-  EXPECT_EQ(subsets.size(), 32u);
-  const auto all = AllSubsets(32, 32);
+  // K = kMaxNodes (64) exercises the shift-overflow guard paths: the
+  // limit mask (NodeMask{1} << K) - 1 would be UB at K = 64, so the
+  // guard must saturate to ~NodeMask{0} exactly at kNodeMaskBits.
+  const auto subsets = AllSubsets(kMaxNodes, kMaxNodes - 1);
+  EXPECT_EQ(subsets.size(), static_cast<std::size_t>(kMaxNodes));
+  const auto all = AllSubsets(kMaxNodes, kMaxNodes);
   ASSERT_EQ(all.size(), 1u);
   EXPECT_EQ(all[0], ~NodeMask{0});
+  EXPECT_EQ(FirstSubset(kMaxNodes), ~NodeMask{0});
+}
+
+TEST(Subsets, MidWidthUniverseStaysInsideK) {
+  // Regression for the stale 32-bit guard: with NodeMask widened to 64
+  // bits, a literal (K >= 32) limit check saturated the universe for
+  // 32 < K < 64 and enumerated subsets with members >= K.
+  for (int K : {33, 40, 63}) {
+    const auto subsets = AllSubsets(K, K - 1);
+    EXPECT_EQ(subsets.size(), static_cast<std::size_t>(K)) << "K=" << K;
+    const NodeMask universe = (NodeMask{1} << K) - 1;
+    for (NodeMask m : subsets) {
+      EXPECT_EQ(m & ~universe, 0u) << "K=" << K << " mask=" << m;
+    }
+    EXPECT_EQ(subsets.back(), universe & ~NodeMask{1});
+  }
+  EXPECT_EQ(AllSubsets(40, 2).size(), Binomial(40, 2));
+}
+
+TEST(Colex, RoundTripAtMaskWidthBoundary) {
+  // K = 63 and K = 64 with r near K: rank/unrank must survive masks
+  // whose top bit is set (the NodeMask{1} << K shift edge).
+  for (int K : {63, 64}) {
+    for (int r : {1, K - 1, K}) {
+      const auto subsets = AllSubsets(K, r);
+      // Spot-check first, last and a middle rank (full sweeps at K=63
+      // r=1 are cheap; r=K-1 has only K entries).
+      for (std::uint64_t rank :
+           {std::uint64_t{0}, subsets.size() / 2, subsets.size() - 1}) {
+        EXPECT_EQ(ColexRank(subsets[rank]), rank) << "K=" << K << " r=" << r;
+        EXPECT_EQ(ColexUnrank(K, r, rank), subsets[rank])
+            << "K=" << K << " r=" << r;
+      }
+    }
+  }
+  // The full universe at K = 64 is the all-ones mask; its rank is 0.
+  EXPECT_EQ(ColexRank(~NodeMask{0}), 0u);
+  EXPECT_EQ(ColexUnrank(64, 64, 0), ~NodeMask{0});
+}
+
+TEST(Binomial, BinomialOrReportsOverflowWithoutAborting) {
+  std::uint64_t out = 12345;
+  EXPECT_FALSE(BinomialOr(1000, 8, &out));  // C(1000,8) > 2^64
+  EXPECT_EQ(out, 12345u);                   // untouched on overflow
+  EXPECT_TRUE(BinomialOr(1000, 3, &out));
+  EXPECT_EQ(out, 166167000u);
+  EXPECT_TRUE(BinomialOr(64, 32, &out));  // largest C(64, k) fits
+  EXPECT_EQ(out, 1832624140942590534u);
+  EXPECT_TRUE(BinomialOr(5, 7, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(BinomialOr(5, -1, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_THROW(Binomial(1000, 8), CheckError);
 }
 
 }  // namespace

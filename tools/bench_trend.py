@@ -19,6 +19,14 @@ job-smoke step runs it over freshly emitted JSONs so an API-level
 output regression fails the build even on the first run, when there
 is no previous artifact to diff against.
 
+Google Benchmark artifacts (bench_micro via --benchmark_out=FILE
+--benchmark_out_format=json) are auto-detected and flattened into the
+same shape: one "<benchmark>/real_time_s" and "<benchmark>/cpu_time_s"
+key per (non-aggregate) benchmark, times converted to seconds, bench
+name "gbench:<executable basename>". Gate those with
+`--suffix cpu_time_s` and a loose threshold — shared CI runners are
+noisy at the microbenchmark scale.
+
 Only keys ending in the suffix (default "total_s", the makespan
 metrics) gate the exit status; other shared numeric keys are reported
 informationally. Keys present in only one file are listed but never
@@ -29,7 +37,34 @@ fail the check — sweeps are allowed to grow. Exit status: 0 ok,
 import argparse
 import json
 import math
+import os
 import sys
+
+# Key suffixes that may gate a schema --check: the sweep makespans and
+# the flattened microbenchmark timings.
+GATING_SUFFIXES = ("total_s", "cpu_time_s")
+
+
+def flatten_gbench(data, path):
+    """Google Benchmark JSON -> (bench_name, flat metrics in seconds)."""
+    unit_s = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+    metrics = {}
+    for b in data["benchmarks"]:
+        if b.get("run_type") == "aggregate":
+            continue  # repetitions: keep the raw runs, skip mean/median
+        name = b.get("name")
+        scale = unit_s.get(b.get("time_unit", "ns"))
+        if not isinstance(name, str) or scale is None:
+            print(f"bench_trend: {path}: malformed Google Benchmark entry "
+                  f"{b!r}", file=sys.stderr)
+            sys.exit(2)
+        for field in ("real_time", "cpu_time"):
+            value = b.get(field)
+            if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                    and math.isfinite(value):
+                metrics[f"{name}/{field}_s"] = float(value) * scale
+    executable = data.get("context", {}).get("executable", "bench")
+    return "gbench:" + os.path.basename(executable), metrics
 
 
 def load_metrics(path):
@@ -39,9 +74,12 @@ def load_metrics(path):
     except (OSError, json.JSONDecodeError) as e:
         print(f"bench_trend: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+    if isinstance(data, dict) and isinstance(data.get("benchmarks"), list):
+        return flatten_gbench(data, path)
     if not isinstance(data, dict) or not isinstance(data.get("bench"), str):
         print(f"bench_trend: {path} is not a bench JSON artifact "
-              "(flat object with a \"bench\" string)", file=sys.stderr)
+              "(flat object with a \"bench\" string, or Google Benchmark "
+              "--benchmark_out JSON)", file=sys.stderr)
         sys.exit(2)
     metrics = {}
     for key, value in data.items():
@@ -118,16 +156,21 @@ def run_schema_check(paths):
         name, metrics = load_metrics(path)
         with open(path, "r", encoding="utf-8") as f:
             raw = json.load(f)
-        null_makespans = sorted(
+        # Google Benchmark artifacts serialize non-finite values inside
+        # the benchmarks list, which flatten_gbench already drops; the
+        # null scan only applies to the flat schema.
+        is_gbench = isinstance(raw.get("benchmarks"), list)
+        null_makespans = [] if is_gbench else sorted(
             k for k, v in raw.items() if k.endswith("total_s") and v is None)
-        gating = [k for k in metrics if k.endswith("total_s")]
+        gating = [k for k in metrics
+                  if any(k.endswith(s) for s in GATING_SUFFIXES)]
         if null_makespans:
             print(f"bench_trend: {path}: null (non-finite) makespan "
                   f"metric(s): {', '.join(null_makespans)}", file=sys.stderr)
             failed = True
         elif not gating:
-            print(f"bench_trend: {path}: no *total_s metric — an artifact "
-                  "without makespans cannot gate regressions",
+            print(f"bench_trend: {path}: no gating metric (*total_s or "
+                  "*cpu_time_s) — the artifact cannot gate regressions",
                   file=sys.stderr)
             failed = True
         else:
@@ -172,6 +215,26 @@ def self_test():
     regs, _ = compare({"z/total_s": 0.0}, {"z/total_s": 5.0},
                       0.15, "total_s")
     assert not regs, regs
+
+    # Google Benchmark artifacts flatten to seconds, aggregates
+    # (mean/median of repetitions) are dropped.
+    name, metrics = flatten_gbench({
+        "context": {"executable": "/build/bench_micro"},
+        "benchmarks": [
+            {"name": "BM_Pack", "run_type": "iteration", "time_unit": "ns",
+             "real_time": 250.0, "cpu_time": 200.0},
+            {"name": "BM_Pack_mean", "run_type": "aggregate",
+             "time_unit": "ns", "real_time": 1.0, "cpu_time": 1.0},
+            {"name": "BM_Sort", "run_type": "iteration", "time_unit": "ms",
+             "real_time": 2.0, "cpu_time": 1.5},
+        ],
+    }, "<self-test>")
+    assert name == "gbench:bench_micro", name
+    assert sorted(metrics) == ["BM_Pack/cpu_time_s", "BM_Pack/real_time_s",
+                               "BM_Sort/cpu_time_s",
+                               "BM_Sort/real_time_s"], metrics
+    assert math.isclose(metrics["BM_Pack/cpu_time_s"], 200e-9), metrics
+    assert math.isclose(metrics["BM_Sort/cpu_time_s"], 1.5e-3), metrics
 
     print("bench_trend: self-test OK")
     return 0

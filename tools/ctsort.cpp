@@ -17,6 +17,12 @@
 //   --algo=NAME|both|each             registry name, or: both =
 //                                     terasort+coded, each = every
 //                                     registered algorithm     [both]
+//   --backend=live|simulated          live executes on the thread
+//                                     harness; simulated synthesizes
+//                                     the counters arithmetically
+//                                     (Backend::kSimulated) — no
+//                                     execution, so K can reach ~1000;
+//                                     prints the projection only [live]
 //   --list-algos                      print the registry and exit
 //   --nodes=K                         worker count           [8]
 //   --redundancy=r                    computation load       [3]
@@ -329,6 +335,11 @@ int main(int argc, char** argv) {
   const simnet::ReplayOrder order = *order_parsed;
   std::string json_path = flags.Get("json", "");
   if (json_path == "true") json_path = "BENCH_ctsort.json";
+  const std::string backend_name = flags.Get("backend", "live");
+  if (backend_name != "live" && backend_name != "simulated") {
+    Flags::Fail("unknown --backend=" + backend_name + " (live | simulated)");
+  }
+  const bool simulated = backend_name == "simulated";
   flags.CheckAllConsumed();
 
   std::cout << "ctsort: K=" << config.num_nodes << " r=" << config.redundancy
@@ -340,6 +351,49 @@ int main(int argc, char** argv) {
   // cluster exactly once.
   job::RunCache cache;
   bench::JsonReport json("ctsort", json_path);
+
+  // ---- Synthesized backend (--backend=simulated) ----
+  // Closed forms only: no execution means nothing to verify, no
+  // transmission log to replay, no measured events to run a scenario
+  // or mitigation policy over.
+  if (simulated) {
+    if (scenario_enabled || !scenario_spec.discipline.empty() ||
+        !scenario_spec.order.empty() ||
+        mitigation->kind != mitigate::PolicyKind::kNone ||
+        !config.injected_delays.empty()) {
+      Flags::Fail(
+          "--backend=simulated prices closed forms only — scenario, "
+          "replay, mitigation and fault-injection flags need "
+          "--backend=live");
+    }
+    std::vector<StageBreakdown> rows;
+    for (const std::string& name : algos) {
+      job::JobSpec spec;
+      spec.algorithm = name;
+      spec.config = config;
+      spec.backend = job::Backend::kSimulated;
+      spec.paper_records = paper_records;
+      spec.schedule = schedule;
+      const job::JobResult sim = job::RunJob(spec, cache);
+      if (!sim.error.empty()) {
+        std::cout << "--- " << name << " ---\nsimulated: skipped — "
+                  << sim.error << "\n\n";
+        continue;
+      }
+      rows.push_back(sim.breakdown);
+      if (json.enabled()) json.add_all(sim.metrics(name));
+    }
+    if (!rows.empty()) {
+      BreakdownTable("synthesized EC2-calibrated projection at " +
+                         HumanBytes(static_cast<double>(paper_records) *
+                                    kRecordBytes) +
+                         " (100 Mbps)",
+                     rows)
+          .render(std::cout);
+    }
+    json.write();
+    return rows.empty() ? 1 : 0;
+  }
 
   struct AlgoRun {
     std::string name;  // registry name
