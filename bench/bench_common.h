@@ -30,6 +30,7 @@
 #include "analytics/report.h"
 #include "common/table.h"
 #include "driver/run_result.h"
+#include "obs/metrics.h"
 
 namespace cts::bench {
 
@@ -87,7 +88,12 @@ class JsonReport {
   }
 
   // Writes the file (no-op when --json was not given). Returns true if
-  // a file was written.
+  // a file was written. Alongside the flat bench metrics, the artifact
+  // embeds the process-wide obs::MetricRegistry snapshot under one
+  // nested "metrics" object (omitted while the registry is empty), so
+  // every bench JSON doubles as an observability readout —
+  // CheckBenchJsonSchema validates the extension and
+  // tools/bench_trend.py flattens it into "metrics/<name>" keys.
   bool write() const {
     if (!enabled()) return false;
     std::ofstream out(path_);
@@ -95,9 +101,7 @@ class JsonReport {
       std::cerr << bench_name_ << ": cannot write " << path_ << "\n";
       std::exit(1);
     }
-    out << "{\n  \"bench\": \"" << bench_name_ << "\"";
-    for (const auto& [key, value] : metrics_) {
-      out << ",\n  \"" << key << "\": ";
+    const auto number = [&out](double value) {
       // JSON has no Inf/NaN literals.
       if (std::isfinite(value)) {
         char buf[64];
@@ -106,10 +110,27 @@ class JsonReport {
       } else {
         out << "null";
       }
+    };
+    out << "{\n  \"bench\": \"" << bench_name_ << "\"";
+    for (const auto& [key, value] : metrics_) {
+      out << ",\n  \"" << key << "\": ";
+      number(value);
+    }
+    const std::map<std::string, double> snapshot =
+        obs::MetricRegistry::Global().Snapshot();
+    if (!snapshot.empty()) {
+      out << ",\n  \"metrics\": {";
+      bool first = true;
+      for (const auto& [key, value] : snapshot) {
+        out << (first ? "\n    \"" : ",\n    \"") << key << "\": ";
+        number(value);
+        first = false;
+      }
+      out << "\n  }";
     }
     out << "\n}\n";
     std::cout << "wrote " << path_ << " (" << metrics_.size()
-              << " metrics)\n";
+              << " metrics, " << snapshot.size() << " registry entries)\n";
     return true;
   }
 
@@ -123,10 +144,13 @@ class JsonReport {
 // artifacts stay machine-parseable (tools/bench_trend.py consumes
 // them): one object, a "bench" string naming the binary, and every
 // other key mapping to a finite number or null, with no duplicate
-// keys. `required` lists metric keys that must be present. Returns an
-// empty string on success, else a description of the first violation.
-// Deliberately a tiny recursive-descent scanner, not a JSON library:
-// it accepts exactly the subset JsonReport writes.
+// keys. The single allowed nesting is the "metrics" key — the
+// obs::MetricRegistry snapshot — whose value must itself be a flat
+// object of finite-or-null numbers. `required` lists top-level metric
+// keys that must be present. Returns an empty string on success, else
+// a description of the first violation. Deliberately a tiny
+// recursive-descent scanner, not a JSON library: it accepts exactly
+// the subset JsonReport writes.
 inline std::string CheckBenchJsonSchema(
     const std::string& content,
     const std::vector<std::string>& required = {}) {
@@ -190,6 +214,56 @@ inline std::string CheckBenchJsonSchema(
     if (pos < content.size() && content[pos] == '"') {
       if (!parse_string()) return fail("unterminated string value");
       keys[key] = 's';
+    } else if (pos < content.size() && content[pos] == '{') {
+      if (key != "metrics") {
+        return "nested object under \"" + key +
+               "\" — only \"metrics\" may nest";
+      }
+      ++pos;
+      std::map<std::string, char> nested;
+      bool nested_first = true;
+      while (true) {
+        skip_ws();
+        if (pos < content.size() && content[pos] == '}') {
+          ++pos;
+          break;
+        }
+        if (!nested_first) {
+          if (pos >= content.size() || content[pos] != ',') {
+            return fail("expected ',' or '}' inside \"metrics\"");
+          }
+          ++pos;
+          skip_ws();
+        }
+        nested_first = false;
+        if (!parse_string()) return fail("expected a quoted registry key");
+        const std::string nested_key = str;
+        if (nested.count(nested_key)) {
+          return "duplicate key \"metrics/" + nested_key + "\"";
+        }
+        skip_ws();
+        if (pos >= content.size() || content[pos] != ':') {
+          return fail("expected ':' after \"metrics/" + nested_key + "\"");
+        }
+        ++pos;
+        skip_ws();
+        if (content.compare(pos, 4, "null") == 0) {
+          pos += 4;
+        } else {
+          char* end = nullptr;
+          const double v = std::strtod(content.c_str() + pos, &end);
+          if (end == content.c_str() + pos) {
+            return fail("value of \"metrics/" + nested_key +
+                        "\" is not a number");
+          }
+          if (!std::isfinite(v)) {
+            return "value of \"metrics/" + nested_key + "\" is not finite";
+          }
+          pos = static_cast<std::size_t>(end - content.c_str());
+        }
+        nested[nested_key] = 'n';
+      }
+      keys[key] = 'm';
     } else if (content.compare(pos, 4, "null") == 0) {
       pos += 4;
       keys[key] = 'n';
@@ -213,7 +287,12 @@ inline std::string CheckBenchJsonSchema(
   if (bench == keys.end()) return "missing \"bench\" key";
   if (bench->second != 's') return "\"bench\" must be a string";
   for (const auto& [key, type] : keys) {
-    if (key != "bench" && type != 'n') {
+    if (key == "bench") continue;
+    if (key == "metrics") {
+      if (type != 'm') return "\"metrics\" must be a nested object";
+      continue;
+    }
+    if (type != 'n') {
       return "metric \"" + key + "\" must be a number or null";
     }
   }

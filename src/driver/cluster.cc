@@ -3,7 +3,50 @@
 #include <exception>
 #include <thread>
 
+#include "common/buffer.h"
+#include "obs/metrics.h"
+
 namespace cts {
+
+namespace {
+
+// Node threads are spawned fresh per run, so each thread-local arena's
+// counters cover exactly this run; they are drained into the registry
+// just before the thread exits (the arena dies with it).
+void PublishArenaMetrics() {
+  auto& registry = obs::MetricRegistry::Global();
+  static obs::Counter& hits = registry.counter("simmpi/arena_hits");
+  static obs::Counter& misses = registry.counter("simmpi/arena_misses");
+  const BufferArena& arena = BufferArena::Local();
+  hits.add(arena.hits());
+  misses.add(arena.misses());
+}
+
+// Pull-at-end publication of the transport's per-stage counters: one
+// registry write per (stage, counter) after the run, nothing on the
+// per-record hot path.
+void PublishTrafficMetrics(const simmpi::TrafficStats& stats) {
+  auto& registry = obs::MetricRegistry::Global();
+  for (const std::string& stage : stats.stage_names()) {
+    const simmpi::ChannelCounters c = stats.stage(stage);
+    const std::string prefix = "simmpi/" + stage + "/";
+    if (c.unicast_msgs > 0) {
+      registry.counter(prefix + "unicast_msgs").add(c.unicast_msgs);
+      registry.counter(prefix + "unicast_bytes").add(c.unicast_bytes);
+    }
+    if (c.mcast_msgs > 0) {
+      registry.counter(prefix + "mcast_msgs").add(c.mcast_msgs);
+      registry.counter(prefix + "mcast_bytes").add(c.mcast_bytes);
+      registry.counter(prefix + "mcast_recipient_bytes")
+          .add(c.mcast_recipient_bytes);
+    }
+    if (c.comm_creations > 0) {
+      registry.counter(prefix + "comm_creations").add(c.comm_creations);
+    }
+  }
+}
+
+}  // namespace
 
 void RunOnCluster(simmpi::World& world, RunRecorder& recorder,
                   const NodeProgram& program) {
@@ -20,12 +63,14 @@ void RunOnCluster(simmpi::World& world, RunRecorder& recorder,
       } catch (...) {
         errors[static_cast<std::size_t>(node)] = std::current_exception();
       }
+      PublishArenaMetrics();
     });
   }
   for (auto& t : threads) t.join();
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);
   }
+  PublishTrafficMetrics(world.stats());
 }
 
 }  // namespace cts

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "job/registry.h"
+#include "obs/metrics.h"
 #include "simulate/simulate.h"
 
 namespace cts::job {
@@ -72,24 +73,42 @@ std::string RunCache::Key(const std::string& algorithm,
   return key;
 }
 
-std::shared_ptr<const AlgorithmResult> RunCache::Get(
-    const std::string& algorithm, const SortConfig& config) {
-  const std::string key = Key(algorithm, config);
-  if (const auto it = runs_.find(key); it != runs_.end()) {
-    ++hits_;
-    return it->second;
-  }
+std::shared_ptr<AlgorithmResult> RunCache::Find(
+    const std::string& key) const {
+  const auto it = runs_.find(key);
+  return it == runs_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<AlgorithmResult> RunCache::Execute(
+    const std::string& key, const std::string& algorithm,
+    const SortConfig& config) {
   const AlgorithmInfo& info = FindOrDie(algorithm);
   ++executions_;
+  obs::MetricRegistry::Global().counter("job/cache_misses").add();
   auto run = std::make_shared<AlgorithmResult>(info.run(config));
   runs_.emplace(key, run);
   return run;
+}
+
+std::shared_ptr<const AlgorithmResult> RunCache::Get(
+    const std::string& algorithm, const SortConfig& config) {
+  const std::string key = Key(algorithm, config);
+  if (auto run = Find(key)) {
+    ++hits_;
+    obs::MetricRegistry::Global().counter("job/cache_hits").add();
+    return run;
+  }
+  return Execute(key, algorithm, config);
 }
 
 void RunCache::ReleasePartitions(const std::string& algorithm,
                                  const SortConfig& config) {
   const auto it = runs_.find(Key(algorithm, config));
   if (it == runs_.end()) return;
+  if (!it->second->partitions.empty()) {
+    obs::MetricRegistry::Global().counter("job/cache_partition_releases")
+        .add();
+  }
   it->second->partitions.clear();
   it->second->partitions.shrink_to_fit();
 }
@@ -108,7 +127,11 @@ std::shared_ptr<const simscen::ScenarioRun> RunCache::GetScenarioRun(
   if (const auto it = scenario_runs_.find(key); it != scenario_runs_.end()) {
     return it->second;
   }
-  const std::shared_ptr<const AlgorithmResult> run = Get(algorithm, config);
+  // Internal fetch: RunJob has already gone through Get() for this
+  // cell, so counting another hit here would double-book (hits() must
+  // stay "Get() calls a caller saved").
+  std::shared_ptr<const AlgorithmResult> run = Find(Key(algorithm, config));
+  if (run == nullptr) run = Execute(Key(algorithm, config), algorithm, config);
   std::shared_ptr<const simscen::ScenarioRun> built;
   if (from_events) {
     built = std::make_shared<simscen::ScenarioRun>(
@@ -146,6 +169,7 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
         simulate::SynthesizeRun(spec.algorithm, spec.config);
     if (!synth.ok()) {
       result.error = std::move(synth.error);
+      result.metrics_snapshot = obs::MetricRegistry::Global().Snapshot();
       return result;
     }
     result.execution = std::move(synth.run);
@@ -158,6 +182,7 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
         SimulateRun(*result.execution, CostModel{}, scale, spec.schedule);
     result.priced = true;
     result.makespan = result.breakdown.total();
+    result.metrics_snapshot = obs::MetricRegistry::Global().Snapshot();
     return result;
   }
 
@@ -209,6 +234,7 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
       break;
   }
   result.makespan = result.breakdown.total();
+  result.metrics_snapshot = obs::MetricRegistry::Global().Snapshot();
   return result;
 }
 

@@ -96,6 +96,13 @@ struct JobResult {
   int speculative_copies = 0;
   int abandoned_nodes = 0;
 
+  // Snapshot of the process-wide obs::MetricRegistry taken when the
+  // job finished: transport byte/message counters, arena hit/miss, DES
+  // flow accounting, cache hits — everything observable about how this
+  // result was produced. Cumulative across the process (a sweep's
+  // N-th result includes the first N cells).
+  std::map<std::string, double> metrics_snapshot;
+
   // Flat "<prefix>/<metric>" map in the bench JSON schema: one key per
   // non-zero stage plus total_s, and the mitigation stats when a
   // scenario ran.
@@ -141,6 +148,16 @@ class RunCache {
                          const SortConfig& config);
 
  private:
+  // The cached run for `key`, or null — no hit/miss accounting.
+  // GetScenarioRun uses this for its internal fetch so hits() counts
+  // exactly the Get() calls a caller saved: hits == cells - distinct
+  // keys in a matrix sweep, which job_test pins.
+  std::shared_ptr<AlgorithmResult> Find(const std::string& key) const;
+  // Executes and caches the run for `key` (counts one execution).
+  std::shared_ptr<AlgorithmResult> Execute(const std::string& key,
+                                           const std::string& algorithm,
+                                           const SortConfig& config);
+
   // Held non-const so ReleasePartitions can drop the sorted data;
   // handed out as shared_ptr<const ...> only.
   std::map<std::string, std::shared_ptr<AlgorithmResult>> runs_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace cts::job {
 
@@ -96,8 +97,18 @@ MatrixResults RunMatrix(const JobMatrix& matrix, RunCache& cache) {
           }
           spec.scenario->mitigation = policy.policy;
         }
+        const int before = cache.executions();
         results.cells_.push_back({algo.label, scenario.label, policy.label,
                                   RunJob(spec, cache)});
+        // Cells executed vs replayed: a cell that did not grow the
+        // cache's execution count was served entirely from memoized
+        // state (the run and/or its derived ScenarioRun).
+        auto& registry = obs::MetricRegistry::Global();
+        if (cache.executions() > before) {
+          registry.counter("job/matrix_cells_executed").add();
+        } else {
+          registry.counter("job/matrix_cells_replayed").add();
+        }
         // No matrix view reads the sorted output — cells consume
         // counters, logs and events only — so drop each execution's
         // partitions (the dominant memory) rather than pinning every

@@ -87,6 +87,7 @@ StageMitigation ApplySpeculative(const MitigationPolicy& policy,
         .push_back(static_cast<NodeId>(n));
   }
   if (victims.empty() || helpers.empty()) return m;
+  m.trigger_at = trigger_time;
   std::sort(helpers.begin(), helpers.end(), [&](NodeId a, NodeId b) {
     return view.node_end[static_cast<std::size_t>(a)] <
            view.node_end[static_cast<std::size_t>(b)];

@@ -98,6 +98,10 @@ struct StageMitigation {
   double wasted_seconds = 0;
   int speculative_copies = 0;  // backups launched (kSpeculative)
   int abandoned_nodes = 0;     // stragglers dropped (kCodedMap)
+  // Absolute time the speculative trigger fired (< 0 when no trigger
+  // fired: kNone, kCodedMap, or nothing left to back up). The tracer
+  // marks it as an instant event.
+  double trigger_at = -1;
 };
 
 StageMitigation ApplyPolicy(const MitigationPolicy& policy,

@@ -43,9 +43,30 @@
 #include <vector>
 
 #include "common/types.h"
+#include "obs/metrics.h"
 #include "simnet/transmission_log.h"
 
 namespace cts::simmpi {
+
+// Registry counter bumped whenever a recorder finds its stripe mutex
+// already held (the lock is still taken — the counter just makes
+// sharding effectiveness observable). Resolved once per process; the
+// uncontended fast path costs one try_lock instead of one lock.
+inline obs::Counter& StripeContentionCounter() {
+  static obs::Counter& c =
+      obs::MetricRegistry::Global().counter("simmpi/stripe_lock_contention");
+  return c;
+}
+
+// Locks `mu`, counting (but not avoiding) contention.
+inline std::unique_lock<std::mutex> LockStripe(std::mutex& mu) {
+  std::unique_lock<std::mutex> lock(mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    StripeContentionCounter().add();
+    lock.lock();
+  }
+  return lock;
+}
 
 // Per-node transmit/receive byte totals within one stage. The serial
 // shuffles of the paper only need the global totals, but the
@@ -119,7 +140,7 @@ class TrafficStats {
                       NodeId dst = -1) {
     Stage& s = *current_.load(std::memory_order_acquire);
     Stripe& st = s.stripe_for(src);
-    std::lock_guard lock(st.mu);
+    const auto lock = LockStripe(st.mu);
     ++st.counters.unicast_msgs;
     st.counters.unicast_bytes += bytes;
     if (src >= 0) st.node_traffic(num_nodes_, src).tx_bytes += bytes;
@@ -136,7 +157,7 @@ class TrafficStats {
                         const std::vector<NodeId>& recipients = {}) {
     Stage& s = *current_.load(std::memory_order_acquire);
     Stripe& st = s.stripe_for(src);
-    std::lock_guard lock(st.mu);
+    const auto lock = LockStripe(st.mu);
     ++st.counters.mcast_msgs;
     st.counters.mcast_bytes += bytes;
     st.counters.mcast_recipient_bytes +=
@@ -167,7 +188,7 @@ class TrafficStats {
     std::uint64_t seq =
         s.next_seq.fetch_add(events.size(), std::memory_order_relaxed);
     Stripe& st = s.stripe_for(src);
-    std::lock_guard lock(st.mu);
+    const auto lock = LockStripe(st.mu);
     for (const MulticastEvent& e : events) {
       ++st.counters.mcast_msgs;
       st.counters.mcast_bytes += e.bytes;
@@ -187,7 +208,7 @@ class TrafficStats {
   void record_comm_creation(std::uint64_t count = 1) {
     Stage& s = *current_.load(std::memory_order_acquire);
     Stripe& st = s.stripes[0];  // creations carry no src; stripe 0
-    std::lock_guard lock(st.mu);
+    const auto lock = LockStripe(st.mu);
     st.counters.comm_creations += count;
   }
 
@@ -313,9 +334,16 @@ class TrafficStats {
         std::lock_guard lock(st.mu);
         out.insert(out.end(), st.log.begin(), st.log.end());
       }
-      std::sort(out.begin(), out.end(),
-                [](const simnet::Transmission& a,
-                   const simnet::Transmission& b) { return a.seq < b.seq; });
+      // Stable on seq: seqs are unique within a stage, but a stable
+      // sort additionally guarantees the emitted log is byte-identical
+      // across stripe-merge orders even if a future caller merges logs
+      // with duplicate seqs — traces and trace-derived metrics must be
+      // reproducible run-to-run.
+      std::stable_sort(
+          out.begin(), out.end(),
+          [](const simnet::Transmission& a, const simnet::Transmission& b) {
+            return a.seq < b.seq;
+          });
       return out;
     }
   };

@@ -179,10 +179,22 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
         outage.end = (strag.fail_at + strag.recovery - now) /
                      run.shuffle_correction;
       }
+      NetReplayStats net_stats;
       const double net = NetMakespan(run.shuffle_log, scenario.topology,
                                      scenario.discipline, scenario.order,
-                                     outage) *
+                                     outage, &net_stats) *
                          run.shuffle_correction;
+      // Per-flow wire times in scenario seconds, for the tracer. Only
+      // the first network stage fills them (runs have one Shuffle).
+      if (out.shuffle_flows.empty() && !net_stats.flow_end.empty()) {
+        out.shuffle_flows.reserve(net_stats.flow_end.size());
+        for (std::size_t i = 0; i < net_stats.flow_end.size(); ++i) {
+          ScenarioOutcome::FlowSpan f;
+          f.start = now + net_stats.flow_start[i] * run.shuffle_correction;
+          f.end = now + net_stats.flow_end[i] * run.shuffle_correction;
+          out.shuffle_flows.push_back(f);
+        }
+      }
       double stage_end = now + net;
       for (int n = 0; n < run.num_nodes; ++n) {
         const std::size_t ni = static_cast<std::size_t>(n);
@@ -275,6 +287,7 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
         span.wasted_seconds = sm.wasted_seconds;
         span.speculative_copies = sm.speculative_copies;
         span.abandoned_nodes = sm.abandoned_nodes;
+        span.trigger_at = sm.trigger_at;
       }
     }
     now = span.end;

@@ -96,6 +96,8 @@ struct StageSpan {
   double wasted_seconds = 0;    // losing copies + abandoned partial work
   int speculative_copies = 0;
   int abandoned_nodes = 0;
+  // Absolute time the speculative trigger fired (< 0: none fired).
+  double trigger_at = -1;
 
   double seconds() const { return end - start; }
 };
@@ -107,6 +109,17 @@ struct ScenarioOutcome {
   // Total compute burnt without contributing to the output across all
   // stages (see StageSpan::wasted_seconds).
   double wasted_seconds = 0;
+
+  // When each shuffle transmission was on the wire, in scenario
+  // seconds, aligned index-for-index with the run's shuffle_log
+  // (filled for the first kNetwork stage; empty for shuffle-free
+  // runs). The tracer turns these into per-flow slices at the times
+  // the flow DES actually scheduled them.
+  struct FlowSpan {
+    double start = 0;
+    double end = 0;
+  };
+  std::vector<FlowSpan> shuffle_flows;
 
   // Table-1-style row for analytics::BreakdownTable.
   StageBreakdown breakdown() const;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace cts::simscen {
 
@@ -45,6 +46,7 @@ struct Flow {
   bool admitted = false;
   bool receivers_released = false;
   bool done = false;
+  double first_admit = -1;  // first time on the wire (-1: never admitted)
 
   // Piecewise-linear progress: sent(t) = seg_sent + rate * (t -
   // seg_start) while the allocated rate is unchanged. The segment is
@@ -134,7 +136,10 @@ class FlowSim {
   }
 
   double Run(NetReplayStats* stats) {
-    if (stats != nullptr) stats->flow_end.assign(flows_.size(), 0.0);
+    if (stats != nullptr) {
+      stats->flow_end.assign(flows_.size(), 0.0);
+      stats->flow_start.assign(flows_.size(), 0.0);
+    }
     double now = 0;
     double makespan = 0;
     std::size_t remaining = flows_.size();
@@ -183,13 +188,21 @@ class FlowSim {
           f.done = true;
           Release(f.up_res);
           makespan = std::max(makespan, t_next);
-          if (stats != nullptr) stats->flow_end[i] = t_next;
+          if (stats != nullptr) {
+            stats->flow_end[i] = t_next;
+            stats->flow_start[i] = std::max(f.first_admit, 0.0);
+          }
           --remaining;
         }
       }
       ProcessOutage(now);
       Admit(now);
       Reallocate(now);
+    }
+    if (stats != nullptr) {
+      stats->flows_started = admissions_;
+      stats->flows_requeued = requeued_;
+      stats->maxmin_recomputations = maxmin_recomputations_;
     }
     return makespan;
   }
@@ -250,6 +263,7 @@ class FlowSim {
         // Retry in the sender's queue once the outage lifts.
         sender_queue_[static_cast<std::size_t>(f.t->src)].push_back(i);
       }
+      ++requeued_;
       f.admitted = false;
       f.rate = 0;
       f.seg_start = now;
@@ -280,6 +294,8 @@ class FlowSim {
   void AdmitFlow(std::size_t i, double now) {
     Flow& f = flows_[i];
     f.admitted = true;
+    ++admissions_;
+    if (f.first_admit < 0) f.first_admit = now;
     f.seg_start = now;
     f.seg_sent = f.receivers_released ? f.payload : 0.0;
     f.rate = 0;  // assigned by Reallocate before any event math
@@ -340,6 +356,7 @@ class FlowSim {
       }
     }
     if (crossing.empty()) return;
+    ++maxmin_recomputations_;
     // Progressive filling of the single shared core pipe: repeatedly
     // grant the lowest-capped flow min(cap, equal share of what
     // remains).
@@ -370,6 +387,9 @@ class FlowSim {
   const simnet::ReplayOrder order_;
   const LinkOutage outage_;
   bool outage_hit_ = false;
+  std::uint64_t admissions_ = 0;
+  std::uint64_t requeued_ = 0;
+  std::uint64_t maxmin_recomputations_ = 0;
   std::vector<Flow> flows_;
   std::vector<Resource> resources_;
   std::vector<std::vector<std::size_t>> sender_queue_;
@@ -379,7 +399,10 @@ class FlowSim {
 double SerialNetMakespan(const simnet::TransmissionLog& log,
                          const Topology& topo, const LinkOutage& outage,
                          NetReplayStats* stats) {
-  if (stats != nullptr) stats->flow_end.assign(log.size(), 0.0);
+  if (stats != nullptr) {
+    stats->flow_end.assign(log.size(), 0.0);
+    stats->flow_start.assign(log.size(), 0.0);
+  }
   double now = 0;
   for (std::size_t i = 0; i < log.size(); ++i) {
     const auto& t = log[i];
@@ -388,22 +411,51 @@ double SerialNetMakespan(const simnet::TransmissionLog& log,
     CTS_CHECK_GT(rate, 0.0);
     const double dur = static_cast<double>(t.bytes) *
                        MulticastPenalty(t, topo.multicast_log_coeff) / rate;
+    double start = now;
     double end = now + dur;
     // The shared medium serves one transmission at a time in log
     // order; a transmission touching the failed node that would
     // overlap the outage window loses its progress and restarts
     // (holding the medium — program order) once the node is back.
-    if (outage.active() && Touches(t, outage.node) && now < outage.end &&
-        end > outage.start) {
+    const bool restarted = outage.active() && Touches(t, outage.node) &&
+                           now < outage.end && end > outage.start;
+    if (restarted) {
+      start = outage.end;
       end = outage.end + dur;
     }
     if (stats != nullptr) {
       stats->flow_end[i] = end;
+      stats->flow_start[i] = start;
       stats->delivered_payload_bytes += static_cast<double>(t.bytes);
+      ++stats->flows_started;
+      if (restarted) ++stats->flows_requeued;
     }
     now = end;
   }
   return now;
+}
+
+// Every replay feeds the process-wide registry: flow admissions,
+// outage re-queues, max-min recomputations, and a histogram of flow
+// service times (replay-clock microseconds). Handles are resolved
+// once — the per-replay cost is three relaxed adds plus one record per
+// flow, nothing on the inner event loop.
+void PublishReplayMetrics(const NetReplayStats& stats) {
+  auto& registry = obs::MetricRegistry::Global();
+  static obs::Counter& started = registry.counter("simscen/flows_started");
+  static obs::Counter& requeued = registry.counter("simscen/flows_requeued");
+  static obs::Counter& recomputations =
+      registry.counter("simscen/maxmin_recomputations");
+  static obs::Histogram& service =
+      registry.histogram("simscen/flow_microseconds");
+  started.add(stats.flows_started);
+  requeued.add(stats.flows_requeued);
+  recomputations.add(stats.maxmin_recomputations);
+  for (std::size_t i = 0; i < stats.flow_end.size(); ++i) {
+    const double start =
+        i < stats.flow_start.size() ? stats.flow_start[i] : 0.0;
+    service.record((stats.flow_end[i] - start) * 1e6);
+  }
 }
 
 }  // namespace
@@ -413,19 +465,24 @@ double NetMakespan(const simnet::TransmissionLog& log,
                    simnet::ReplayOrder order, const LinkOutage& outage,
                    NetReplayStats* stats) {
   CTS_CHECK_GE(topology.num_nodes, 1);
-  if (stats != nullptr) *stats = NetReplayStats{};
+  NetReplayStats local;
+  if (stats == nullptr) stats = &local;
+  *stats = NetReplayStats{};
   if (log.empty()) return 0;
+  double makespan = 0;
   switch (discipline) {
     case simnet::Discipline::kSerial:
-      return SerialNetMakespan(log, topology, outage, stats);
+      makespan = SerialNetMakespan(log, topology, outage, stats);
+      break;
     case simnet::Discipline::kParallelHalfDuplex:
     case simnet::Discipline::kParallelFullDuplex: {
       const bool fd = discipline == simnet::Discipline::kParallelFullDuplex;
-      return FlowSim(log, topology, fd, order, outage).Run(stats);
+      makespan = FlowSim(log, topology, fd, order, outage).Run(stats);
+      break;
     }
   }
-  CTS_CHECK_MSG(false, "unreachable discipline");
-  return 0;
+  PublishReplayMetrics(*stats);
+  return makespan;
 }
 
 }  // namespace cts::simscen

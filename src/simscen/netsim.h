@@ -26,6 +26,7 @@
 // accumulation (tests assert 1e-9 relative agreement).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "simnet/schedule.h"
@@ -50,14 +51,25 @@ struct LinkOutage {
   bool covers(double t) const { return active() && t >= start && t < end; }
 };
 
-// Optional per-flow detail of one replay, for tests and invariants.
+// Optional per-flow detail of one replay, for tests, invariants and
+// the tracer (obs::BuildScenarioTrace).
 struct NetReplayStats {
   // Completion time of log entry i (payload at every receiver AND the
   // sender's multicast stream tail drained).
   std::vector<double> flow_end;
+  // Time log entry i first went on the wire (its first admission; the
+  // serial discipline reports the time the medium was granted, after
+  // any outage restart).
+  std::vector<double> flow_start;
   // Σ t.bytes over flows whose payload reached all receivers; a
   // completed replay conserves bytes (== sum over the log).
   double delivered_payload_bytes = 0;
+  // DES accounting, mirrored into the obs::MetricRegistry by
+  // NetMakespan: admissions (initial + re-admissions after an
+  // outage), outage re-queues, and max-min core-share recomputations.
+  std::uint64_t flows_started = 0;
+  std::uint64_t flows_requeued = 0;
+  std::uint64_t maxmin_recomputations = 0;
 };
 
 // Makespan of `log` replayed on `topology` under a network discipline

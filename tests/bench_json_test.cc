@@ -12,6 +12,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
+#include "obs/metrics.h"
 
 namespace cts::bench {
 namespace {
@@ -76,6 +77,57 @@ TEST(BenchJsonSchema, AcceptsTheDocumentedShapeDirectly) {
                 "  \"c\": 1e-3\n}\n"),
             "");
   EXPECT_EQ(CheckBenchJsonSchema("{\"bench\":\"x\"}"), "");
+}
+
+// The one nesting exception: the "metrics" key carries the
+// obs::MetricRegistry snapshot as a flat numeric object.
+TEST(BenchJsonSchema, AcceptsTheNestedMetricsObject) {
+  EXPECT_EQ(CheckBenchJsonSchema(
+                "{\n  \"bench\": \"scenarios\",\n  \"a/total_s\": 1.5,\n"
+                "  \"metrics\": {\n"
+                "    \"simmpi/Shuffle/unicast_bytes\": 4096,\n"
+                "    \"job/cache_hits\": 16,\n    \"odd\": null\n  }\n}\n"),
+            "");
+  // Empty nested object is fine too.
+  EXPECT_EQ(CheckBenchJsonSchema(
+                "{\"bench\": \"x\", \"metrics\": {}}"),
+            "");
+  // Nesting anywhere else is rejected...
+  EXPECT_NE(CheckBenchJsonSchema(
+                "{\"bench\": \"x\", \"other\": {\"a\": 1}}"),
+            "");
+  // ...as are non-numeric registry values, duplicate registry keys,
+  // non-finite values, and a second level of nesting.
+  EXPECT_NE(CheckBenchJsonSchema(
+                "{\"bench\": \"x\", \"metrics\": {\"a\": \"str\"}}"),
+            "");
+  EXPECT_NE(CheckBenchJsonSchema(
+                "{\"bench\": \"x\", \"metrics\": {\"a\": 1, \"a\": 2}}"),
+            "");
+  EXPECT_NE(CheckBenchJsonSchema(
+                "{\"bench\": \"x\", \"metrics\": {\"a\": inf}}"),
+            "");
+  EXPECT_NE(CheckBenchJsonSchema(
+                "{\"bench\": \"x\", \"metrics\": {\"a\": {\"b\": 1}}}"),
+            "");
+}
+
+// A JsonReport written while the process-wide registry is non-empty
+// embeds the snapshot under "metrics", and the artifact still
+// satisfies its own schema.
+TEST(BenchJsonSchema, JsonReportEmbedsTheRegistrySnapshot) {
+  obs::MetricRegistry::Global().counter("test/embedded_counter").add(3);
+  const std::string path =
+      ::testing::TempDir() + "/bench_json_schema_registry.json";
+  JsonReport json("demo", path);
+  json.add("a/total_s", 1.0);
+  ASSERT_TRUE(json.write());
+  const std::string content = ReadFile(path);
+  EXPECT_EQ(CheckBenchJsonSchema(content, {"a/total_s"}), "");
+  EXPECT_NE(content.find("\"metrics\": {"), std::string::npos) << content;
+  EXPECT_NE(content.find("\"test/embedded_counter\": 3"), std::string::npos)
+      << content;
+  std::remove(path.c_str());
 }
 
 TEST(BenchJsonSchema, RejectsSchemaViolations) {

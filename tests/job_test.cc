@@ -185,14 +185,21 @@ TEST(Matrix, MemoizesLiveExecutionPerKey) {
 
   // 3 algo labels × 2 scenarios × 3 policies = 18 replayed cells, but
   // only 2 distinct (algorithm, config) keys ever hit the harness.
+  // Every other cell's Get() is a cache hit — exactly cells minus
+  // distinct keys, nothing double-booked by the internal
+  // GetScenarioRun fetches.
   EXPECT_EQ(results.cells().size(), 18u);
   EXPECT_EQ(results.executions(), 2);
   EXPECT_EQ(cache.executions(), 2);
-  EXPECT_GT(cache.hits(), 0);
+  EXPECT_EQ(cache.hits(), 16);
 
   for (const MatrixCell& cell : results.cells()) {
     EXPECT_GT(cell.result.makespan, 0.0) << cell.algo;
     ASSERT_TRUE(cell.result.outcome.has_value());
+    // Every result carries the registry snapshot taken at completion,
+    // including the cache accounting above.
+    EXPECT_TRUE(cell.result.metrics_snapshot.count("job/cache_misses"))
+        << cell.algo;
   }
 
   // Duplicate-label axes are rejected, and every addressed cell is

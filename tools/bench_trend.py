@@ -67,6 +67,38 @@ def flatten_gbench(data, path):
     return "gbench:" + os.path.basename(executable), metrics
 
 
+def flatten_bench(data, path):
+    """Flat bench JSON -> metrics dict. The one nesting exception is
+    the "metrics" key: JsonReport embeds the obs::MetricRegistry
+    snapshot there as a flat numeric object, flattened here into
+    "metrics/<name>" keys so observability counters show up in diffs
+    (informational only — registry names never end in a gating suffix).
+    """
+    metrics = {}
+    for key, value in data.items():
+        if key == "bench":
+            continue
+        if key == "metrics" and isinstance(value, dict):
+            for mkey, mvalue in value.items():
+                if mvalue is None:
+                    continue  # non-finite registry value, serialized null
+                if not isinstance(mvalue, (int, float)) \
+                        or isinstance(mvalue, bool):
+                    print(f"bench_trend: {path}: registry metric "
+                          f"{mkey!r} is not numeric", file=sys.stderr)
+                    sys.exit(2)
+                metrics[f"metrics/{mkey}"] = float(mvalue)
+            continue
+        if value is None:
+            continue  # non-finite metric, serialized as null
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            print(f"bench_trend: {path}: metric {key!r} is not numeric",
+                  file=sys.stderr)
+            sys.exit(2)
+        metrics[key] = float(value)
+    return metrics
+
+
 def load_metrics(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -81,18 +113,7 @@ def load_metrics(path):
               "(flat object with a \"bench\" string, or Google Benchmark "
               "--benchmark_out JSON)", file=sys.stderr)
         sys.exit(2)
-    metrics = {}
-    for key, value in data.items():
-        if key == "bench":
-            continue
-        if value is None:
-            continue  # non-finite metric, serialized as null
-        if not isinstance(value, (int, float)) or isinstance(value, bool):
-            print(f"bench_trend: {path}: metric {key!r} is not numeric",
-                  file=sys.stderr)
-            sys.exit(2)
-        metrics[key] = float(value)
-    return data["bench"], metrics
+    return data["bench"], flatten_bench(data, path)
 
 
 def compare(old, new, threshold, suffix):
@@ -235,6 +256,21 @@ def self_test():
                                "BM_Sort/real_time_s"], metrics
     assert math.isclose(metrics["BM_Pack/cpu_time_s"], 200e-9), metrics
     assert math.isclose(metrics["BM_Sort/cpu_time_s"], 1.5e-3), metrics
+
+    # The nested "metrics" registry snapshot flattens to metrics/<name>
+    # keys; null registry entries are dropped like flat nulls.
+    flat = flatten_bench({
+        "bench": "demo",
+        "terasort/total_s": 1.5,
+        "metrics": {"simmpi/Shuffle/unicast_bytes": 4096.0,
+                    "job/cache_hits": 16, "bad": None},
+    }, "<self-test>")
+    assert flat == {"terasort/total_s": 1.5,
+                    "metrics/simmpi/Shuffle/unicast_bytes": 4096.0,
+                    "metrics/job/cache_hits": 16.0}, flat
+    # Registry keys never gate (no key ends in a gating suffix).
+    assert not any(k.endswith(s) for s in GATING_SUFFIXES
+                   for k in flat if k.startswith("metrics/")), flat
 
     print("bench_trend: self-test OK")
     return 0

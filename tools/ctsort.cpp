@@ -17,9 +17,13 @@
 //   --algo=NAME|both|each             registry name, or: both =
 //                                     terasort+coded, each = every
 //                                     registered algorithm     [both]
-//   --backend=live|simulated          live executes on the thread
-//                                     harness; simulated synthesizes
-//                                     the counters arithmetically
+//   --backend=live|priced|simulated   live executes on the thread
+//                                     harness; priced is live whose
+//                                     --trace comes from the paper-
+//                                     scale DES replay instead of the
+//                                     measured run; simulated
+//                                     synthesizes the counters
+//                                     arithmetically
 //                                     (Backend::kSimulated) — no
 //                                     execution, so K can reach ~1000;
 //                                     prints the projection only [live]
@@ -37,6 +41,24 @@
 //   --json[=path]                     bench-schema JSON of every job's
 //                                     metrics [off; default path
 //                                     BENCH_ctsort.json]
+//
+// Observability (src/obs):
+//   --trace=FILE                      write a Chrome trace_event JSON
+//                                     of the run (load in Perfetto /
+//                                     chrome://tracing): one process
+//                                     per algorithm, one track per
+//                                     node, shuffle slices + flow
+//                                     arrows, outage/speculation
+//                                     marks. --backend=live traces the
+//                                     measured run; --backend=priced
+//                                     traces the DES scenario replay
+//                                     (baseline scenario when
+//                                     --scenario is absent). Rejected
+//                                     under --backend=simulated
+//                                     (nothing executes).
+//   --metrics                         print the process-wide
+//                                     MetricRegistry snapshot after
+//                                     the run
 //
 // Transmission-log replay (simnet::ReplayMakespan; prints the shuffle
 // makespan of the measured log under a network discipline):
@@ -73,6 +95,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -90,6 +113,8 @@
 #include "keyvalue/teragen.h"
 #include "keyvalue/teravalidate.h"
 #include "mitigate/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -257,6 +282,21 @@ void Report(const AlgorithmResult& result, bool verify) {
   std::cout << "\n";
 }
 
+// --metrics: the process-wide obs::MetricRegistry, one row per entry
+// (the same snapshot --json embeds under its "metrics" key).
+void PrintRegistrySnapshot() {
+  const std::map<std::string, double> snapshot =
+      obs::MetricRegistry::Global().Snapshot();
+  std::cout << '\n';
+  TextTable table("metric registry (" + std::to_string(snapshot.size()) +
+                  " entries)");
+  table.set_header({"metric", "value"});
+  for (const auto& [key, value] : snapshot) {
+    table.add_row({key, TextTable::Num(value)});
+  }
+  table.render(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -336,10 +376,21 @@ int main(int argc, char** argv) {
   std::string json_path = flags.Get("json", "");
   if (json_path == "true") json_path = "BENCH_ctsort.json";
   const std::string backend_name = flags.Get("backend", "live");
-  if (backend_name != "live" && backend_name != "simulated") {
-    Flags::Fail("unknown --backend=" + backend_name + " (live | simulated)");
+  if (backend_name != "live" && backend_name != "priced" &&
+      backend_name != "simulated") {
+    Flags::Fail("unknown --backend=" + backend_name +
+                " (live | priced | simulated)");
   }
   const bool simulated = backend_name == "simulated";
+  const bool priced_trace = backend_name == "priced";
+  const std::string trace_path = flags.Get("trace", "");
+  if (trace_path == "true") Flags::Fail("--trace needs a path: --trace=FILE");
+  if (!trace_path.empty() && simulated) {
+    Flags::Fail(
+        "--backend=simulated never executes, so there is nothing to "
+        "trace — use --backend=live or --backend=priced");
+  }
+  const bool print_metrics = flags.GetBool("metrics");
   flags.CheckAllConsumed();
 
   std::cout << "ctsort: K=" << config.num_nodes << " r=" << config.redundancy
@@ -392,6 +443,7 @@ int main(int argc, char** argv) {
           .render(std::cout);
     }
     json.write();
+    if (print_metrics) PrintRegistrySnapshot();
     return rows.empty() ? 1 : 0;
   }
 
@@ -550,6 +602,67 @@ int main(int argc, char** argv) {
     t.render(std::cout);
   }
 
+  // ---- Chrome trace export (--trace=FILE) ----
+  // One process (pid) per traced algorithm in a single merged file.
+  // Each pid's otherData entry records the execution's measured
+  // shuffle payload so checkers (tools/trace_check.py, obs_test) can
+  // verify byte conservation: the summed "bytes" args of the trace's
+  // shuffle slices must equal these totals exactly.
+  if (!trace_path.empty()) {
+    obs::Trace trace;
+    int pid = 0;
+    for (const AlgoRun& run : runs) {
+      const AlgorithmResult& exec = *run.live.execution;
+      if (!priced_trace) {
+        trace.Merge(obs::BuildLiveTrace(exec, pid, run.name));
+      } else {
+        if (!job::Find(run.name)->priced) {
+          std::cout << "trace: skipping " << run.name
+                    << " (unpriced — no paper-scale DES replay)\n";
+          continue;
+        }
+        // The DES view: the paper-scale replay under the requested
+        // scenario, or the baseline cluster with the CLI's network
+        // discipline and mitigation policy when --scenario is absent.
+        simscen::Scenario replay_scenario;
+        if (scenario.has_value()) {
+          replay_scenario = *scenario;
+        } else {
+          replay_scenario = simscen::Scenario::Baseline(config.num_nodes);
+          replay_scenario.discipline = discipline;
+          replay_scenario.order = order;
+          replay_scenario.mitigation = *mitigation;
+        }
+        const auto scenario_run = cache.GetScenarioRun(
+            run.name, config, paper_records, /*from_events=*/false);
+        const simscen::ScenarioOutcome outcome =
+            simscen::ReplayScenario(*scenario_run, replay_scenario);
+        trace.Merge(obs::BuildScenarioTrace(*scenario_run, outcome,
+                                            replay_scenario, pid,
+                                            run.name + " (scenario)"));
+      }
+      const auto it = exec.traffic.find(stage::kShuffle);
+      trace.set_meta(run.name + "/shuffle_payload_bytes",
+                     it == exec.traffic.end()
+                         ? 0.0
+                         : static_cast<double>(it->second.transmitted_bytes()));
+      ++pid;
+    }
+    const std::string invalid = obs::ValidateTrace(trace);
+    if (!invalid.empty()) {
+      std::cerr << "ctsort: internal error — built an invalid trace: "
+                << invalid << "\n";
+      return 1;
+    }
+    std::ofstream out(trace_path);
+    if (!out) Flags::Fail("cannot write --trace=" + trace_path);
+    trace.WriteJson(out);
+    std::cout << "\nwrote " << trace_path << " (" << trace.events().size()
+              << " events, " << pid << " algorithm tracks) — load in "
+              << "Perfetto or chrome://tracing\n";
+  }
+
   json.write();
+  if (print_metrics) PrintRegistrySnapshot();
   return 0;
 }

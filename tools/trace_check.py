@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Validator for the Chrome trace_event JSON files ctsort --trace emits.
+
+Mirrors obs::ValidateTrace (src/obs/trace.cc) in Python so CI can
+check the artifacts a build actually wrote, plus the byte-conservation
+invariant the C++ side can only check in-process: for every
+"<algo>/shuffle_payload_bytes" entry in otherData, the summed "bytes"
+args of that algorithm's shuffle slices must equal it exactly (the
+tracer copies Transmission::bytes through untouched, so any drift
+means a tracer bug, not rounding).
+
+Usage:
+  trace_check.py FILE [FILE ...]
+  trace_check.py --smoke CTSORT_BINARY [--workdir DIR]
+  trace_check.py --self-test
+
+--smoke runs CTSORT_BINARY twice — a live K=16 run and a priced DES
+scenario replay — and validates both traces end to end; the CI
+trace-smoke step and the trace_smoke ctest both drive it.
+
+Exit status: 0 ok, 1 validation failure, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+# Metadata ('M') events carry no timestamp; every other phase must.
+REQUIRED_EVENT_KEYS = ("name", "ph", "pid", "tid")
+
+
+def fail(path, msg):
+    print(f"trace_check: {path}: {msg}", file=sys.stderr)
+    return [msg]
+
+
+def check_structure(data, path):
+    """Top-level shape + per-event required keys. Returns error list."""
+    errors = []
+    if not isinstance(data, dict):
+        return fail(path, "top level is not a JSON object")
+    if not isinstance(data.get("traceEvents"), list):
+        return fail(path, 'missing "traceEvents" array')
+    if not isinstance(data.get("otherData"), dict):
+        return fail(path, 'missing "otherData" object')
+    for i, e in enumerate(data["traceEvents"]):
+        if not isinstance(e, dict):
+            errors.append(f"traceEvents[{i}] is not an object")
+            continue
+        for key in REQUIRED_EVENT_KEYS:
+            if key not in e:
+                errors.append(f"traceEvents[{i}] lacks {key!r}")
+                break
+        else:
+            ph = e["ph"]
+            if ph not in ("X", "i", "s", "f", "M"):
+                errors.append(f"traceEvents[{i}] has unknown phase {ph!r}")
+                continue
+            if ph != "M" and not (isinstance(e.get("ts"), (int, float))
+                                  and math.isfinite(e["ts"])):
+                errors.append(f"traceEvents[{i}] has missing/non-finite ts")
+            if ph == "X":
+                dur = e.get("dur")
+                if not (isinstance(dur, (int, float)) and math.isfinite(dur)
+                        and dur >= 0):
+                    errors.append(f"traceEvents[{i}] span has bad dur {dur!r}")
+            if ph in ("s", "f") and "id" not in e:
+                errors.append(f"traceEvents[{i}] flow event lacks 'id'")
+    for err in errors:
+        print(f"trace_check: {path}: {err}", file=sys.stderr)
+    return errors
+
+
+def check_nesting(events, path):
+    """Complete events must form a stack discipline per (pid, tid):
+    sorted by (ts asc, dur desc), every span fits inside the innermost
+    still-open span. Same epsilon policy as obs::ValidateTrace."""
+    spans = {}
+    max_ts = 1.0
+    for e in events:
+        if e.get("ph") == "X":
+            spans.setdefault((e["pid"], e["tid"]), []).append(e)
+            max_ts = max(max_ts, abs(e["ts"]) + e["dur"])
+    eps = 1e-9 * max_ts
+    errors = []
+    for (pid, tid), track in spans.items():
+        track.sort(key=lambda e: (e["ts"], -e["dur"]))
+        open_ends = []
+        for e in track:
+            start, end = e["ts"], e["ts"] + e["dur"]
+            while open_ends and start >= open_ends[-1] - eps:
+                open_ends.pop()
+            if open_ends and end > open_ends[-1] + eps:
+                errors.append(f"overlapping spans on pid {pid} tid {tid} "
+                              f"at span {e['name']!r} (ts={start})")
+                break
+            open_ends.append(end)
+    for err in errors:
+        print(f"trace_check: {path}: {err}", file=sys.stderr)
+    return errors
+
+
+def check_flows(events, path):
+    """Every flow id must appear as exactly one 's'/'f' pair with
+    start <= finish."""
+    flows = {}
+    max_ts = max([1.0] + [abs(e["ts"]) + e.get("dur", 0)
+                          for e in events if e.get("ph") == "X"])
+    eps = 1e-9 * max_ts
+    for e in events:
+        if e.get("ph") in ("s", "f"):
+            rec = flows.setdefault(e["id"], {"s": [], "f": []})
+            rec[e["ph"]].append(e["ts"])
+    errors = []
+    for fid, rec in flows.items():
+        if len(rec["s"]) != 1 or len(rec["f"]) != 1:
+            errors.append(f"flow id {fid} has {len(rec['s'])} starts / "
+                          f"{len(rec['f'])} finishes")
+        elif rec["s"][0] > rec["f"][0] + eps:
+            errors.append(f"flow id {fid} finishes before it starts")
+    for err in errors:
+        print(f"trace_check: {path}: {err}", file=sys.stderr)
+    return errors
+
+
+def check_byte_conservation(data, path):
+    """otherData's "<algo>/shuffle_payload_bytes" entries vs the traced
+    shuffle slices. The algo is matched to its pid via the process_name
+    metadata (a DES trace names the process "<algo> (scenario)")."""
+    suffix = "/shuffle_payload_bytes"
+    expected = {k[:-len(suffix)]: v for k, v in data["otherData"].items()
+                if k.endswith(suffix)}
+    if not expected:
+        return []  # not a ctsort trace; structural checks still apply
+    process_names = {}
+    traced = {}
+    for e in data["traceEvents"]:
+        if e.get("ph") == "M" and e.get("name") == "process_name":
+            name = e.get("args", {}).get("name", "")
+            if name.endswith(" (scenario)"):
+                name = name[:-len(" (scenario)")]
+            process_names[name] = e["pid"]
+        if e.get("ph") == "X" and e.get("cat") == "shuffle":
+            traced[e["pid"]] = traced.get(e["pid"], 0.0) \
+                + e.get("args", {}).get("bytes", 0.0)
+    errors = []
+    for algo, total in expected.items():
+        pid = process_names.get(algo)
+        if pid is None:
+            errors.append(f"otherData names {algo!r} but no process track "
+                          "carries that name")
+            continue
+        got = traced.get(pid, 0.0)
+        # Byte counts are integers held exactly in doubles: exact
+        # equality, not a tolerance, is the invariant.
+        if got != total:
+            errors.append(f"{algo!r}: traced shuffle bytes {got:.0f} != "
+                          f"otherData total {total:.0f}")
+    for err in errors:
+        print(f"trace_check: {path}: {err}", file=sys.stderr)
+    return errors
+
+
+def check_file(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    errors = check_structure(data, path)
+    if not errors:
+        events = data["traceEvents"]
+        errors += check_nesting(events, path)
+        errors += check_flows(events, path)
+        errors += check_byte_conservation(data, path)
+    if not errors:
+        n = len(data["traceEvents"])
+        print(f"trace_check: {path}: {n} events — OK")
+    return not errors
+
+
+def run_smoke(ctsort, workdir):
+    """Runs ctsort twice (live + priced DES scenario) and validates the
+    traces it wrote — the end-to-end acceptance path."""
+    invocations = [
+        ("live_trace.json",
+         ["--algo=both", "--nodes=16", "--records=40000", "--no-verify",
+          "--backend=live"]),
+        ("des_trace.json",
+         ["--algo=both", "--nodes=8", "--records=40000", "--no-verify",
+          "--backend=priced", "--scenario",
+          "--straggler=failstop:0.05:0.1:2", "--mitigate=spec"]),
+    ]
+    ok = True
+    for name, args in invocations:
+        trace = os.path.join(workdir, name)
+        cmd = [ctsort] + args + [f"--trace={trace}"]
+        print(f"trace_check: running {' '.join(cmd)}")
+        proc = subprocess.run(cmd, stdout=subprocess.DEVNULL)
+        if proc.returncode != 0:
+            print(f"trace_check: ctsort exited {proc.returncode}",
+                  file=sys.stderr)
+            ok = False
+            continue
+        ok = check_file(trace) and ok
+    return 0 if ok else 1
+
+
+def self_test():
+    """Exercises the checkers on hand-built traces, valid and broken."""
+    def base(events, other=None):
+        return {"traceEvents": events, "otherData": other or {}}
+
+    meta = {"name": "process_name", "ph": "M", "pid": 0, "tid": 0,
+            "args": {"name": "terasort"}}
+    good = base([
+        meta,
+        {"name": "Map", "cat": "stage", "ph": "X", "pid": 0, "tid": 0,
+         "ts": 0, "dur": 100},
+        {"name": "tx", "cat": "shuffle", "ph": "X", "pid": 0, "tid": 0,
+         "ts": 10, "dur": 20, "args": {"bytes": 64}},
+        {"name": "shuffle", "cat": "flow", "ph": "s", "pid": 0, "tid": 0,
+         "ts": 10, "id": 1},
+        {"name": "shuffle", "cat": "flow", "ph": "f", "pid": 0, "tid": 1,
+         "ts": 30, "id": 1, "bp": "e"},
+        {"name": "m", "cat": "mark", "ph": "i", "pid": 0, "tid": 0,
+         "ts": 5, "s": "t"},
+    ], {"terasort/shuffle_payload_bytes": 64})
+    assert not check_structure(good, "<good>")
+    assert not check_nesting(good["traceEvents"], "<good>")
+    assert not check_flows(good["traceEvents"], "<good>")
+    assert not check_byte_conservation(good, "<good>")
+
+    # Overlapping siblings on one track are a nesting violation.
+    bad_nest = [
+        {"name": "a", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 10},
+        {"name": "b", "ph": "X", "pid": 0, "tid": 0, "ts": 5, "dur": 10},
+    ]
+    assert check_nesting(bad_nest, "<bad-nest>")
+    # The same spans on different tracks are fine.
+    ok_tracks = [dict(bad_nest[0]), dict(bad_nest[1], tid=1)]
+    assert not check_nesting(ok_tracks, "<ok-tracks>")
+
+    # A flow with two starts, and one finishing before it starts.
+    assert check_flows([
+        {"ph": "s", "pid": 0, "tid": 0, "ts": 0, "id": 7, "name": "x"},
+        {"ph": "s", "pid": 0, "tid": 1, "ts": 1, "id": 7, "name": "x"},
+        {"ph": "f", "pid": 0, "tid": 2, "ts": 2, "id": 7, "name": "x"},
+    ], "<bad-flow>")
+    assert check_flows([
+        {"ph": "s", "pid": 0, "tid": 0, "ts": 5, "id": 1, "name": "x"},
+        {"ph": "f", "pid": 0, "tid": 1, "ts": 1, "id": 1, "name": "x"},
+    ], "<backwards-flow>")
+
+    # One byte of drift fails conservation; scenario naming resolves.
+    off = json.loads(json.dumps(good))
+    off["otherData"]["terasort/shuffle_payload_bytes"] = 65
+    assert check_byte_conservation(off, "<off-by-one>")
+    des = json.loads(json.dumps(good))
+    des["traceEvents"][0]["args"]["name"] = "terasort (scenario)"
+    assert not check_byte_conservation(des, "<des-names>")
+    orphan = json.loads(json.dumps(good))
+    orphan["otherData"] = {"coded/shuffle_payload_bytes": 1}
+    assert check_byte_conservation(orphan, "<orphan-total>")
+
+    # Structural failures: missing keys, bad phase, negative duration.
+    assert check_structure(base([{"ph": "X"}]), "<missing-keys>")
+    assert check_structure(base([
+        {"name": "x", "ph": "Q", "pid": 0, "tid": 0, "ts": 0}]), "<bad-ph>")
+    assert check_structure(base([
+        {"name": "x", "ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": -1}]),
+        "<neg-dur>")
+
+    print("trace_check: self-test OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="trace JSON files")
+    parser.add_argument("--smoke", metavar="CTSORT",
+                        help="run this ctsort binary and validate the "
+                             "traces it writes")
+    parser.add_argument("--workdir", default=None,
+                        help="where --smoke writes its traces "
+                             "(default: a temp dir)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the embedded self-test and exit")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test())
+    if args.smoke:
+        if args.workdir:
+            os.makedirs(args.workdir, exist_ok=True)
+            sys.exit(run_smoke(args.smoke, args.workdir))
+        with tempfile.TemporaryDirectory() as workdir:
+            sys.exit(run_smoke(args.smoke, workdir))
+    if not args.files:
+        parser.error("pass trace files, --smoke CTSORT, or --self-test")
+    ok = all([check_file(path) for path in args.files])
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()
