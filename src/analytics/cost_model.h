@@ -177,4 +177,46 @@ struct CostModel {
   }
 };
 
+// Dollars, where CostModel above is seconds: converts a run's makespan
+// and its cross-rack shuffle traffic into what the fleet would bill.
+// The paper's testbed rents K nodes for the whole job (every node
+// participates in every barrier-synchronous stage, so there is nothing
+// to release early): compute cost = makespan × K × $/node-hour. Bytes
+// that leave a rack are the cloud's metered traffic (inter-AZ /
+// inter-zone transfer in EC2 terms); intra-rack traffic is free, which
+// is exactly why rack-aware multicast and per-rack pipe topologies
+// change a configuration's price and not just its makespan.
+//
+// Constant derivations (same vintage as CostModel's Section V-B
+// calibration — 2017 us-east-1 on-demand pricing):
+//   * node_usd_per_hour: m3.large (the 100 Mbps-class instance the
+//     testbed caps down to) listed at $0.133/hour on-demand.
+//   * cross_rack_usd_per_gb: inter-AZ transfer billed $0.01/GB out
+//     plus $0.01/GB in => $0.02 per GB crossing a rack boundary.
+// Instance profiles override node_usd_per_hour per cell (the planner's
+// instance axis); the egress rate is a property of the region, not the
+// instance.
+struct DollarCost {
+  double node_usd_per_hour = 0.133;
+  double cross_rack_usd_per_gb = 0.02;
+
+  // K nodes held for the makespan.
+  double node_hours(double makespan_seconds, int num_nodes) const {
+    CTS_CHECK_GE(num_nodes, 1);
+    return makespan_seconds / 3600.0 * static_cast<double>(num_nodes);
+  }
+  double compute_usd(double makespan_seconds, int num_nodes) const {
+    return node_hours(makespan_seconds, num_nodes) * node_usd_per_hour;
+  }
+  double egress_usd(double cross_rack_bytes) const {
+    CTS_CHECK_GE(cross_rack_bytes, 0.0);
+    return cross_rack_bytes / 1e9 * cross_rack_usd_per_gb;
+  }
+  double total_usd(double makespan_seconds, int num_nodes,
+                   double cross_rack_bytes) const {
+    return compute_usd(makespan_seconds, num_nodes) +
+           egress_usd(cross_rack_bytes);
+  }
+};
+
 }  // namespace cts

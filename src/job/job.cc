@@ -37,6 +37,34 @@ void FillMitigationStats(const simscen::ScenarioOutcome& outcome,
   }
 }
 
+// Prices the finished view in dollars (no-op without a pricing
+// context). Egress counts the measured shuffle's rack-boundary
+// crossings under the scenario topology; a priced (paper-scale) view
+// scales the measured bytes to the reported workload, the same
+// linear-in-records scaling every byte counter uses.
+void FillDollars(const JobSpec& spec, JobResult& result) {
+  if (!spec.pricing.has_value()) return;
+  const DollarCost& cost = *spec.pricing;
+  result.node_hours = cost.node_hours(result.makespan,
+                                      spec.config.num_nodes);
+  result.usd_compute =
+      cost.compute_usd(result.makespan, spec.config.num_nodes);
+  double cross = 0;
+  if (spec.scenario.has_value() && result.execution != nullptr) {
+    cross = simscen::CrossRackBytes(result.execution->shuffle_log,
+                                    spec.scenario->topology);
+    if (result.priced) {
+      const std::uint64_t reported = spec.paper_records == 0
+                                         ? spec.config.num_records
+                                         : spec.paper_records;
+      cross /= PaperScale(spec.config.num_records, reported).fraction;
+    }
+  }
+  result.cross_rack_bytes = cross;
+  result.usd_egress = cost.egress_usd(cross);
+  result.usd = result.usd_compute + result.usd_egress;
+}
+
 }  // namespace
 
 const char* BackendName(Backend backend) {
@@ -182,6 +210,7 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
         SimulateRun(*result.execution, CostModel{}, scale, spec.schedule);
     result.priced = true;
     result.makespan = result.breakdown.total();
+    FillDollars(spec, result);
     result.metrics_snapshot = obs::MetricRegistry::Global().Snapshot();
     return result;
   }
@@ -234,6 +263,7 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
       break;
   }
   result.makespan = result.breakdown.total();
+  FillDollars(spec, result);
   result.metrics_snapshot = obs::MetricRegistry::Global().Snapshot();
   return result;
 }
@@ -254,6 +284,12 @@ std::map<std::string, double> JobResult::metrics(
     out[prefix + "/wasted_s"] = wasted_seconds;
     out[prefix + "/backups"] = speculative_copies;
     out[prefix + "/abandoned"] = abandoned_nodes;
+  }
+  if (spec.pricing.has_value()) {
+    out[prefix + "/usd"] = usd;
+    out[prefix + "/usd_compute"] = usd_compute;
+    out[prefix + "/usd_egress"] = usd_egress;
+    out[prefix + "/node_hours"] = node_hours;
   }
   return out;
 }

@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "analytics/cost_model.h"
 #include "analytics/report.h"
 #include "driver/run_result.h"
 #include "simscen/engine.h"
@@ -71,6 +72,12 @@ struct JobSpec {
   std::uint64_t paper_records = 0;
   // kPriced: closed-form shuffle discipline.
   ShuffleSchedule schedule = ShuffleSchedule::kSerial;
+  // When set, the result's dollar fields are filled: the view's
+  // makespan × K priced at `pricing->node_usd_per_hour`, plus the
+  // run's cross-rack shuffle traffic under the scenario topology
+  // (paper-scaled on priced views) at the egress rate. The matrix's
+  // instance axis overrides the hourly rate per cell.
+  std::optional<DollarCost> pricing;
 };
 
 // Everything one evaluated cell produces.
@@ -95,6 +102,16 @@ struct JobResult {
   double wasted_seconds = 0;
   int speculative_copies = 0;
   int abandoned_nodes = 0;
+
+  // Dollar pricing (all zero unless spec.pricing is set): K nodes
+  // held for the makespan at the hourly rate, plus cross-rack egress
+  // of the measured shuffle under the scenario topology
+  // (simscen::CrossRackBytes, paper-scaled on priced views).
+  double node_hours = 0;
+  double usd_compute = 0;
+  double usd_egress = 0;
+  double usd = 0;
+  double cross_rack_bytes = 0;
 
   // Snapshot of the process-wide obs::MetricRegistry taken when the
   // job finished: transport byte/message counters, arena hit/miss, DES

@@ -23,15 +23,17 @@ void CheckLabelsUnique(const std::vector<Axis>& axis, const char* what) {
 
 const JobResult& MatrixResults::at(const std::string& algo,
                                    const std::string& scenario,
-                                   const std::string& policy) const {
+                                   const std::string& policy,
+                                   const std::string& instance) const {
   for (const MatrixCell& cell : cells_) {
     if (cell.algo == algo && cell.scenario == scenario &&
-        cell.policy == policy) {
+        cell.policy == policy && cell.instance == instance) {
       return cell.result;
     }
   }
   CTS_CHECK_MSG(false, "no matrix cell (" << algo << ", " << scenario << ", "
-                                          << policy << ")");
+                                          << policy << ", " << instance
+                                          << ")");
   return cells_.front().result;  // unreachable
 }
 
@@ -41,12 +43,14 @@ MatrixResults RunMatrix(const JobMatrix& matrix, RunCache& cache) {
   // combination per cell); fail at matrix level with the fix spelled
   // out rather than on the first expanded cell.
   CTS_CHECK_MSG(!(matrix.backend == Backend::kPriced &&
-                  (!matrix.scenarios.empty() || !matrix.policies.empty())),
-                "a kPriced JobMatrix cannot carry scenario/policy axes — "
-                "use Backend::kReplay");
+                  (!matrix.scenarios.empty() || !matrix.policies.empty() ||
+                   !matrix.instances.empty())),
+                "a kPriced JobMatrix cannot carry scenario/policy/instance "
+                "axes — use Backend::kReplay");
   CheckLabelsUnique(matrix.algos, "algorithm");
   CheckLabelsUnique(matrix.scenarios, "scenario");
   CheckLabelsUnique(matrix.policies, "policy");
+  CheckLabelsUnique(matrix.instances, "instance");
 
   // Collapsed axes expand to one unlabelled entry so the cell loop is
   // uniform; has_scenario distinguishes "no scenario axis" from an
@@ -77,18 +81,33 @@ MatrixResults RunMatrix(const JobMatrix& matrix, RunCache& cache) {
       policies.push_back({p.label, p.policy, true});
     }
   }
+  struct InstanceCell {
+    std::string label;
+    InstanceAxis axis;
+    bool present = false;
+  };
+  std::vector<InstanceCell> instances;
+  if (matrix.instances.empty()) {
+    instances.push_back({});
+  } else {
+    for (const InstanceAxis& i : matrix.instances) {
+      instances.push_back({i.label, i, true});
+    }
+  }
 
   const int executions_before = cache.executions();
   MatrixResults results;
-  for (const ScenarioCell& scenario : scenarios) {
-    for (const PolicyCell& policy : policies) {
-      for (const AlgoAxis& algo : matrix.algos) {
+  for (const InstanceCell& instance : instances) {
+    for (const ScenarioCell& scenario : scenarios) {
+      for (const PolicyCell& policy : policies) {
+        for (const AlgoAxis& algo : matrix.algos) {
         JobSpec spec;
         spec.algorithm = algo.algorithm;
         spec.config = algo.config;
         spec.backend = matrix.backend;
         spec.paper_records = matrix.paper_records;
         spec.schedule = matrix.schedule;
+        spec.pricing = matrix.pricing;
         if (scenario.present) spec.scenario = scenario.scenario;
         if (policy.present) {
           if (!spec.scenario.has_value()) {
@@ -97,9 +116,27 @@ MatrixResults RunMatrix(const JobMatrix& matrix, RunCache& cache) {
           }
           spec.scenario->mitigation = policy.policy;
         }
+        if (instance.present) {
+          // The instance reshapes the replayed cluster (every node's
+          // speed scales by the machine type's multiplier) and the
+          // hourly rate the cell is priced at.
+          if (!spec.scenario.has_value()) {
+            spec.scenario =
+                simscen::Scenario::Baseline(algo.config.num_nodes);
+          }
+          auto& speed = spec.scenario->cluster.speed;
+          if (speed.empty()) {
+            speed.assign(static_cast<std::size_t>(algo.config.num_nodes),
+                         1.0);
+          }
+          for (double& s : speed) s *= instance.axis.speed;
+          if (spec.pricing.has_value()) {
+            spec.pricing->node_usd_per_hour = instance.axis.usd_per_hour;
+          }
+        }
         const int before = cache.executions();
         results.cells_.push_back({algo.label, scenario.label, policy.label,
-                                  RunJob(spec, cache)});
+                                  instance.label, RunJob(spec, cache)});
         // Cells executed vs replayed: a cell that did not grow the
         // cache's execution count was served entirely from memoized
         // state (the run and/or its derived ScenarioRun).
@@ -115,6 +152,7 @@ MatrixResults RunMatrix(const JobMatrix& matrix, RunCache& cache) {
         // dataset in the cache for the whole sweep. Callers that need
         // the sorted records run RunJob directly.
         cache.ReleasePartitions(algo.algorithm, algo.config);
+        }
       }
     }
   }

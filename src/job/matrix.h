@@ -39,15 +39,33 @@ struct PolicyAxis {
   mitigate::MitigationPolicy policy;
 };
 
+// One entry of the instance-profile axis: a rentable machine type. It
+// scales every node's compute speed in the replayed scenario and sets
+// the hourly rate the cell's dollar fields are priced at (when the
+// matrix carries a pricing context). Like scenarios and policies the
+// axis is free: the live execution stays keyed by
+// (algorithm, SortConfig) — an instance only reshapes the replay and
+// the price.
+struct InstanceAxis {
+  std::string label;   // cell key, e.g. "m3.large"
+  double speed = 1.0;  // compute-speed multiplier vs the calibrated node
+  double usd_per_hour = 0.133;  // on-demand rate (see DollarCost)
+};
+
 struct JobMatrix {
   std::vector<AlgoAxis> algos;
   // Empty axis = one unlabelled cell: no scenario (backend default) /
-  // the scenario's own mitigation.
+  // the scenario's own mitigation / the calibrated node at the
+  // pricing context's default rate.
   std::vector<ScenarioAxis> scenarios;
   std::vector<PolicyAxis> policies;
+  std::vector<InstanceAxis> instances;
   Backend backend = Backend::kReplay;
   std::uint64_t paper_records = 0;  // see JobSpec::paper_records
   ShuffleSchedule schedule = ShuffleSchedule::kSerial;  // kPriced only
+  // When set, every cell's dollar fields are filled (JobSpec::pricing);
+  // the instance axis overrides the hourly rate per cell.
+  std::optional<DollarCost> pricing;
 };
 
 // One evaluated cell, addressed by its axis labels (empty label for a
@@ -56,6 +74,7 @@ struct MatrixCell {
   std::string algo;
   std::string scenario;
   std::string policy;
+  std::string instance;
   JobResult result;
 };
 
@@ -63,12 +82,13 @@ class MatrixResults {
  public:
   const std::vector<MatrixCell>& cells() const { return cells_; }
 
-  // The cell at (algo, scenario, policy); labels of collapsed axes
-  // default to "". Dies on an unknown address (a typo'd label must not
-  // silently price the wrong cell).
+  // The cell at (algo, scenario, policy, instance); labels of
+  // collapsed axes default to "". Dies on an unknown address (a typo'd
+  // label must not silently price the wrong cell).
   const JobResult& at(const std::string& algo,
                       const std::string& scenario = "",
-                      const std::string& policy = "") const;
+                      const std::string& policy = "",
+                      const std::string& instance = "") const;
 
   int executions() const { return executions_; }  // live harness runs
   int replays() const { return static_cast<int>(cells_.size()); }

@@ -86,12 +86,28 @@ std::optional<simscen::Topology> ParseTopology(const std::string& spec,
                                                int num_nodes,
                                                std::string* error) {
   if (spec.empty()) return simscen::Topology::SingleRack(num_nodes);
-  const auto fields = SplitColons(spec);
+  auto fields = SplitColons(spec);
+  // Optional trailing "aware": the rack switches replicate multicasts
+  // locally (Topology::rack_aware_multicast).
+  bool aware = false;
+  if (!fields.empty() && fields.back() == "aware") {
+    aware = true;
+    fields.pop_back();
+  }
   int per_rack = 0;
   double factor = 0;
-  if (fields.size() != 2 || !ParseWhole(fields[0], &per_rack) ||
-      !ParseNumber(fields[1], &factor)) {
-    SetError(error, "topology expects R:F (nodes-per-rack:oversubscription)");
+  double up_factor = 0;
+  double down_factor = 0;
+  const bool ok =
+      (fields.size() == 2 || fields.size() == 4) &&
+      ParseWhole(fields[0], &per_rack) && ParseNumber(fields[1], &factor) &&
+      (fields.size() == 2 || (ParseNumber(fields[2], &up_factor) &&
+                              ParseNumber(fields[3], &down_factor)));
+  if (!ok) {
+    SetError(error,
+             "topology expects R:F[:U:D][:aware] (nodes-per-rack : core "
+             "oversubscription [: rack uplink : downlink oversubscription, "
+             "0 = unconstrained])");
     return std::nullopt;
   }
   if (per_rack < 1) {
@@ -102,7 +118,15 @@ std::optional<simscen::Topology> ParseTopology(const std::string& spec,
     SetError(error, "topology oversubscription must be > 0");
     return std::nullopt;
   }
-  return simscen::Topology::Oversubscribed(num_nodes, per_rack, factor);
+  if (up_factor < 0 || down_factor < 0) {
+    SetError(error,
+             "topology rack-pipe factors must be >= 0 (0 = unconstrained)");
+    return std::nullopt;
+  }
+  simscen::Topology t = simscen::Topology::RackOversubscribed(
+      num_nodes, per_rack, factor, up_factor, down_factor);
+  t.rack_aware_multicast = aware;
+  return t;
 }
 
 std::optional<simscen::StragglerModel> ParseStraggler(const std::string& spec,

@@ -26,8 +26,11 @@ std::optional<simnet::Discipline> ParseDiscipline(const std::string& spec,
 std::optional<simnet::ReplayOrder> ParseOrder(const std::string& spec,
                                               std::string* error);
 
-// "R:F" (nodes-per-rack : core oversubscription factor); empty spec is
-// a single rack.
+// "R:F[:U:D][:aware]" — nodes-per-rack : core oversubscription
+// factor, optionally followed by per-rack uplink/downlink
+// oversubscription factors (0 = that pipe stays unconstrained) and a
+// literal "aware" enabling rack-aware multicast
+// (Topology::rack_aware_multicast). Empty spec is a single rack.
 std::optional<simscen::Topology> ParseTopology(const std::string& spec,
                                                int num_nodes,
                                                std::string* error);

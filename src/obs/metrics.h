@@ -86,9 +86,9 @@ class Gauge {
 
 // Power-of-two-bucketed histogram of non-negative samples. record() is
 // two relaxed atomic adds plus a CAS loop for the running sum — no
-// locks, so concurrent recorders never serialize. Quantiles are bucket
-// upper-bound estimates (within 2x of the true value), which is all an
-// observability readout needs.
+// locks, so concurrent recorders never serialize. Quantiles are
+// geometric-midpoint bucket estimates (within sqrt 2 of the true
+// value), which is all an observability readout needs.
 class Histogram {
  public:
   // Buckets: [0, 1), [1, 2), [2, 4), ... doubling up to 2^62, plus a
@@ -118,19 +118,23 @@ class Histogram {
   double sum() const { return sum_.load(std::memory_order_relaxed); }
   double max() const { return max_.load(std::memory_order_relaxed); }
 
-  // Upper bound of the bucket containing the q-quantile sample
-  // (0 when empty). q in [0, 1].
+  // Geometric midpoint (upper bound / sqrt 2) of the bucket containing
+  // the q-quantile sample — the estimate with the smallest worst-case
+  // relative error (sqrt 2, vs 2x for the upper bound) given only the
+  // bucket. 0 when empty; q is clamped to [0, 1] — casting a negative
+  // rank to uint64_t would be undefined.
   double quantile(double q) const {
     const std::uint64_t n = count();
     if (n == 0) return 0;
-    const std::uint64_t rank = static_cast<std::uint64_t>(
-        std::min(q, 1.0) * static_cast<double>(n - 1));
+    q = std::min(std::max(q, 0.0), 1.0);
+    const std::uint64_t rank =
+        static_cast<std::uint64_t>(q * static_cast<double>(n - 1));
     std::uint64_t seen = 0;
     for (int b = 0; b < kBuckets; ++b) {
       seen += buckets_[b].load(std::memory_order_relaxed);
-      if (seen > rank) return upper_bound(b);
+      if (seen > rank) return upper_bound(b) / kSqrt2;
     }
-    return upper_bound(kBuckets - 1);
+    return upper_bound(kBuckets - 1) / kSqrt2;
   }
 
   void reset() {
@@ -141,6 +145,8 @@ class Histogram {
   }
 
  private:
+  static constexpr double kSqrt2 = 1.4142135623730951;
+
   static int bucket_of(double sample) {
     if (sample < 1.0) return 0;
     const int e = std::ilogb(sample);  // floor(log2) for finite >= 1

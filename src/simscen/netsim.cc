@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <vector>
 
 #include "common/check.h"
@@ -13,13 +14,6 @@ namespace cts::simscen {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-// Matches simnet::LinkModel::tx_seconds' penalty exactly (same
-// floating-point expression) so the degenerate replay is bit-stable.
-double MulticastPenalty(const simnet::Transmission& t, double coeff) {
-  const double fanout = static_cast<double>(t.dsts.size());
-  return fanout > 1.0 ? 1.0 + coeff * std::log2(fanout) : 1.0;
-}
 
 bool Touches(const simnet::Transmission& t, NodeId node) {
   if (t.src == node) return true;
@@ -42,6 +36,16 @@ struct Flow {
 
   int up_res = -1;
   std::vector<int> down_res;  // deduplicated
+
+  // Fluid inter-rack pipes the flow's stream crosses (core + source
+  // rack uplink, held until the stream tail is done) and the
+  // destination-rack downlink shares (held until the payload is
+  // delivered). The weight is how many concurrent copies of the
+  // stream the pipe carries for this flow: #receivers in the rack, or
+  // 1 under rack-aware multicast. Populated only on the generalized
+  // multi-pipe path (Topology::rack_pipes_finite()).
+  std::vector<std::pair<int, double>> pipes_stream;
+  std::vector<std::pair<int, double>> pipes_payload;
 
   bool admitted = false;
   bool receivers_released = false;
@@ -88,6 +92,33 @@ class FlowSim {
     resources_.resize(full_duplex ? 2 * static_cast<std::size_t>(n)
                                   : static_cast<std::size_t>(n));
 
+    // The generalized multi-pipe path exists only when a per-rack pipe
+    // actually constrains; otherwise Reallocate keeps the original
+    // shared-core arithmetic so degenerate replays are bit-for-bit.
+    use_pipes_ = topo.rack_pipes_finite();
+    int core_pipe = -1;
+    int up_base = -1;
+    int down_base = -1;
+    if (use_pipes_) {
+      const int racks = topo.num_racks();
+      if (topo.core_is_finite()) {
+        core_pipe = static_cast<int>(pipe_cap_.size());
+        pipe_cap_.push_back(topo.core_bytes_per_sec);
+      }
+      if (topo.rack_uplink_bytes_per_sec < kInf) {
+        CTS_CHECK_GT(topo.rack_uplink_bytes_per_sec, 0.0);
+        up_base = static_cast<int>(pipe_cap_.size());
+        pipe_cap_.insert(pipe_cap_.end(), static_cast<std::size_t>(racks),
+                         topo.rack_uplink_bytes_per_sec);
+      }
+      if (topo.rack_downlink_bytes_per_sec < kInf) {
+        CTS_CHECK_GT(topo.rack_downlink_bytes_per_sec, 0.0);
+        down_base = static_cast<int>(pipe_cap_.size());
+        pipe_cap_.insert(pipe_cap_.end(), static_cast<std::size_t>(racks),
+                         topo.rack_downlink_bytes_per_sec);
+      }
+    }
+
     flows_.reserve(log.size());
     for (const auto& t : log) {
       CTS_CHECK_GE(t.src, 0);
@@ -95,8 +126,8 @@ class FlowSim {
       Flow f;
       f.t = &t;
       f.payload = static_cast<double>(t.bytes);
-      f.stream_total = static_cast<double>(t.bytes) *
-                       MulticastPenalty(t, topo.multicast_log_coeff);
+      f.stream_total =
+          static_cast<double>(t.bytes) * topo.multicast_penalty(t);
       f.crossing = topo.crosses_core(t);
       f.touches_outage = outage_.active() && Touches(t, outage_.node);
       f.up_res = up_of(t.src);
@@ -109,6 +140,28 @@ class FlowSim {
       std::sort(f.down_res.begin(), f.down_res.end());
       f.down_res.erase(std::unique(f.down_res.begin(), f.down_res.end()),
                        f.down_res.end());
+      if (use_pipes_ && f.crossing) {
+        const int src_rack = topo.rack_of(t.src);
+        if (core_pipe >= 0) f.pipes_stream.push_back({core_pipe, 1.0});
+        if (up_base >= 0) {
+          f.pipes_stream.push_back({up_base + src_rack, 1.0});
+        }
+        if (down_base >= 0) {
+          // Copies entering each destination rack: one per receiver
+          // there, or one total when the rack switch replicates
+          // (rack-aware multicast).
+          std::map<int, double> copies;
+          for (const NodeId d : t.dsts) {
+            const int r = topo.rack_of(d);
+            if (r != src_rack) copies[r] += 1.0;
+          }
+          for (const auto& [rack, count] : copies) {
+            f.pipes_payload.push_back(
+                {down_base + rack,
+                 topo.rack_aware_multicast ? 1.0 : count});
+          }
+        }
+      }
       flows_.push_back(std::move(f));
     }
 
@@ -338,6 +391,10 @@ class FlowSim {
   // cross-rack flows then share the core by progressive filling. A
   // flow's segment is reset only if its rate actually changes.
   void Reallocate(double now) {
+    if (use_pipes_) {
+      ReallocatePipes(now);
+      return;
+    }
     struct Entry {
       Flow* f;
       double cap;
@@ -373,6 +430,85 @@ class FlowSim {
     }
   }
 
+  // Weighted max-min over the inter-rack pipes (core + per-rack
+  // uplink/downlink), by water-filling: every unfixed flow's rate
+  // rises together; whichever constraint binds first — a flow's
+  // access-link cap, or a pipe whose remaining capacity is exhausted
+  // by the weights still on it — fixes the flows it limits at the
+  // water level, returns their shares, and the level keeps rising for
+  // the rest. A flow's share of a pipe is its weight × rate (a
+  // multicast entering a rack with w receivers puts w copies on that
+  // rack's downlink), which is exactly where locality shows up in the
+  // planner's price. Only taken when a rack pipe is finite; the
+  // shared-core path above keeps its original arithmetic so the
+  // infinite-pipe replay stays bit-for-bit.
+  void ReallocatePipes(double now) {
+    struct Entry {
+      Flow* f;
+      double cap;
+      bool payload_live;  // downlink shares still held
+      bool fixed = false;
+      double limit = 0;
+    };
+    std::vector<Entry> entries;
+    for (Flow& f : flows_) {
+      if (!f.admitted || f.done) continue;
+      const bool payload_live =
+          !f.receivers_released && !f.pipes_payload.empty();
+      if (f.pipes_stream.empty() && !payload_live) {
+        SetRate(f, topo_.access_bytes_per_sec, now);
+        continue;
+      }
+      entries.push_back({&f, topo_.access_bytes_per_sec, payload_live});
+    }
+    if (entries.empty()) return;
+    ++maxmin_recomputations_;
+
+    std::vector<double> rem(pipe_cap_);
+    std::vector<double> weight(pipe_cap_.size(), 0.0);
+    const auto each_pipe = [](const Entry& e, auto&& fn) {
+      for (const auto& [p, w] : e.f->pipes_stream) fn(p, w);
+      if (e.payload_live) {
+        for (const auto& [p, w] : e.f->pipes_payload) fn(p, w);
+      }
+    };
+    for (const Entry& e : entries) {
+      each_pipe(e, [&](int p, double w) {
+        weight[static_cast<std::size_t>(p)] += w;
+      });
+    }
+
+    std::size_t unfixed = entries.size();
+    while (unfixed > 0) {
+      // The rate each unfixed flow could reach if only its own
+      // constraints existed; the lowest of these is where the water
+      // level binds next, and every flow at that limit fixes there.
+      double level = kInf;
+      for (Entry& e : entries) {
+        if (e.fixed) continue;
+        e.limit = e.cap;
+        each_pipe(e, [&](int p, double w) {
+          (void)w;
+          const auto i = static_cast<std::size_t>(p);
+          if (weight[i] > 0) e.limit = std::min(e.limit, rem[i] / weight[i]);
+        });
+        level = std::min(level, e.limit);
+      }
+      CTS_CHECK_GT(level, 0.0);
+      for (Entry& e : entries) {
+        if (e.fixed || e.limit > level) continue;
+        e.fixed = true;
+        --unfixed;
+        SetRate(*e.f, level, now);
+        each_pipe(e, [&](int p, double w) {
+          const auto i = static_cast<std::size_t>(p);
+          rem[i] = std::max(rem[i] - w * level, 0.0);
+          weight[i] -= w;
+        });
+      }
+    }
+  }
+
   void SetRate(Flow& f, double rate, double now) {
     CTS_CHECK_GT(rate, 0.0);
     if (f.rate == rate) return;
@@ -386,6 +522,8 @@ class FlowSim {
   const bool full_duplex_;
   const simnet::ReplayOrder order_;
   const LinkOutage outage_;
+  bool use_pipes_ = false;
+  std::vector<double> pipe_cap_;  // core, then per-rack up, then down
   bool outage_hit_ = false;
   std::uint64_t admissions_ = 0;
   std::uint64_t requeued_ = 0;
@@ -407,10 +545,31 @@ double SerialNetMakespan(const simnet::TransmissionLog& log,
   for (std::size_t i = 0; i < log.size(); ++i) {
     const auto& t = log[i];
     double rate = topo.access_bytes_per_sec;
-    if (topo.crosses_core(t)) rate = std::min(rate, topo.core_bytes_per_sec);
+    if (topo.crosses_core(t)) {
+      rate = std::min(rate, topo.core_bytes_per_sec);
+      // A lone transmission still squeezes through the rack pipes: the
+      // source rack's uplink once, the heaviest destination rack's
+      // downlink at one copy per receiver there (one total when the
+      // rack switch replicates). min against infinity is the identity,
+      // so pipe-free topologies keep the original arithmetic.
+      rate = std::min(rate, topo.rack_uplink_bytes_per_sec);
+      if (topo.rack_downlink_bytes_per_sec < kInf) {
+        const int src_rack = topo.rack_of(t.src);
+        std::map<int, double> copies;
+        for (const NodeId d : t.dsts) {
+          const int r = topo.rack_of(d);
+          if (r != src_rack) copies[r] += 1.0;
+        }
+        for (const auto& [rack, count] : copies) {
+          (void)rack;
+          const double w = topo.rack_aware_multicast ? 1.0 : count;
+          rate = std::min(rate, topo.rack_downlink_bytes_per_sec / w);
+        }
+      }
+    }
     CTS_CHECK_GT(rate, 0.0);
-    const double dur = static_cast<double>(t.bytes) *
-                       MulticastPenalty(t, topo.multicast_log_coeff) / rate;
+    const double dur =
+        static_cast<double>(t.bytes) * topo.multicast_penalty(t) / rate;
     double start = now;
     double end = now + dur;
     // The shared medium serves one transmission at a time in log

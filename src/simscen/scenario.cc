@@ -1,5 +1,6 @@
 #include "simscen/scenario.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -68,11 +69,29 @@ Topology Topology::Oversubscribed(int num_nodes, int nodes_per_rack,
   return t;
 }
 
+Topology Topology::RackOversubscribed(int num_nodes, int nodes_per_rack,
+                                      double core_factor, double up_factor,
+                                      double down_factor) {
+  Topology t = Oversubscribed(num_nodes, nodes_per_rack, core_factor);
+  const double rack_access =
+      static_cast<double>(nodes_per_rack) * t.access_bytes_per_sec;
+  if (up_factor > 0) t.rack_uplink_bytes_per_sec = rack_access / up_factor;
+  if (down_factor > 0) {
+    t.rack_downlink_bytes_per_sec = rack_access / down_factor;
+  }
+  return t;
+}
+
 int Topology::rack_of(NodeId node) const {
   CTS_CHECK_GE(node, 0);
   CTS_CHECK_LT(node, num_nodes);
   if (nodes_per_rack <= 0 || nodes_per_rack >= num_nodes) return 0;
   return node / nodes_per_rack;
+}
+
+int Topology::num_racks() const {
+  if (nodes_per_rack <= 0 || nodes_per_rack >= num_nodes) return 1;
+  return (num_nodes + nodes_per_rack - 1) / nodes_per_rack;
 }
 
 bool Topology::crosses_core(const simnet::Transmission& t) const {
@@ -81,6 +100,48 @@ bool Topology::crosses_core(const simnet::Transmission& t) const {
     if (rack_of(d) != src_rack) return true;
   }
   return false;
+}
+
+double Topology::multicast_penalty(const simnet::Transmission& t) const {
+  double fanout = static_cast<double>(t.dsts.size());
+  if (rack_aware_multicast) {
+    // Distinct racks the stream reaches; the switch fans out locally.
+    std::vector<int> racks;
+    racks.reserve(t.dsts.size());
+    for (const NodeId d : t.dsts) racks.push_back(rack_of(d));
+    std::sort(racks.begin(), racks.end());
+    racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
+    fanout = static_cast<double>(racks.size());
+  }
+  return fanout > 1.0
+             ? 1.0 + multicast_log_coeff * std::log2(fanout)
+             : 1.0;
+}
+
+double CrossRackBytes(const simnet::TransmissionLog& log,
+                      const Topology& topology) {
+  double total = 0;
+  for (const auto& t : log) {
+    const int src_rack = topology.rack_of(t.src);
+    if (topology.rack_aware_multicast) {
+      std::vector<int> racks;
+      for (const NodeId d : t.dsts) {
+        const int r = topology.rack_of(d);
+        if (r != src_rack) racks.push_back(r);
+      }
+      std::sort(racks.begin(), racks.end());
+      racks.erase(std::unique(racks.begin(), racks.end()), racks.end());
+      total += static_cast<double>(t.bytes) *
+               static_cast<double>(racks.size());
+    } else {
+      std::size_t copies = 0;
+      for (const NodeId d : t.dsts) {
+        if (topology.rack_of(d) != src_rack) ++copies;
+      }
+      total += static_cast<double>(t.bytes) * static_cast<double>(copies);
+    }
+  }
+  return total;
 }
 
 }  // namespace cts::simscen

@@ -84,10 +84,14 @@ struct ClusterProfile {
 
 // Rack-structured network: every node owns a full-duplex (or, under a
 // half-duplex discipline, shared) access link of `access_bytes_per_sec`
-// into its rack switch; racks interconnect through one core pipe of
-// `core_bytes_per_sec` that every cross-rack flow traverses. An
-// infinite core (the default) makes the fabric non-blocking and the
-// replay degenerates to simnet::ReplayMakespan's per-node-link model.
+// into its rack switch; each rack's switch reaches the core through a
+// finite uplink pipe (traffic leaving the rack) and downlink pipe
+// (traffic entering it), and racks interconnect through one core pipe
+// of `core_bytes_per_sec` that every cross-rack flow traverses. All
+// three inter-rack pipes are fluid resources shared max-min among the
+// flows crossing them; each defaults to infinity, and with all of them
+// infinite the fabric is non-blocking and the replay degenerates to
+// simnet::ReplayMakespan's per-node-link model.
 struct Topology {
   int num_nodes = 0;
   // Nodes per rack; <= 0 or >= num_nodes means a single rack. Rack of
@@ -95,9 +99,24 @@ struct Topology {
   int nodes_per_rack = 0;
   double access_bytes_per_sec = kPaperLinkBytesPerSec * kTcpEfficiency;
   double core_bytes_per_sec = std::numeric_limits<double>::infinity();
+  // Per-rack switch-to-core pipes, shared by every flow leaving
+  // (uplink) or entering (downlink) the rack. Infinite = the
+  // pre-rack-pipe model where only the core constrains cross-rack
+  // traffic.
+  double rack_uplink_bytes_per_sec = std::numeric_limits<double>::infinity();
+  double rack_downlink_bytes_per_sec =
+      std::numeric_limits<double>::infinity();
   // Sender-side penalty coefficient for application-layer multicast,
   // identical in role to simnet::LinkModel::multicast_log_coeff.
   double multicast_log_coeff = kMulticastLogCoeff;
+  // Rack-aware application-layer multicast: the sender emits one copy
+  // per destination *rack* (the rack switch replicates locally), so
+  // the sender-side fanout penalty counts distinct destination racks
+  // and a destination rack's downlink carries the payload once no
+  // matter how many of its nodes receive. Off by default — the
+  // paper's transport replicates per receiver at the sender, and the
+  // degenerate-replay equalities are pinned against that model.
+  bool rack_aware_multicast = false;
 
   static Topology SingleRack(int num_nodes);
 
@@ -108,15 +127,50 @@ struct Topology {
   static Topology Oversubscribed(int num_nodes, int nodes_per_rack,
                                  double factor);
 
+  // Per-rack oversubscription: on top of Oversubscribed(...)'s shared
+  // core, each rack's uplink (downlink) pipe carries
+  // nodes_per_rack * access / up_factor (down_factor). A factor <= 0
+  // leaves that pipe infinite.
+  static Topology RackOversubscribed(int num_nodes, int nodes_per_rack,
+                                     double core_factor, double up_factor,
+                                     double down_factor);
+
   int rack_of(NodeId node) const;
+  int num_racks() const;
 
   // True if the transmission reaches at least one node outside the
   // sender's rack (and therefore traverses the core).
   bool crosses_core(const simnet::Transmission& t) const;
 
+  // Sender-side multicast stream penalty (the application-layer copy
+  // count folded into a unicast-rate multiplier). Under
+  // rack_aware_multicast the fanout is the number of distinct racks
+  // the transmission reaches (its own rack's switch counts once);
+  // otherwise it is the receiver count — the exact floating-point
+  // expression of simnet::LinkModel::tx_seconds, so degenerate
+  // replays stay bit-stable.
+  double multicast_penalty(const simnet::Transmission& t) const;
+
   bool core_is_finite() const {
     return core_bytes_per_sec < std::numeric_limits<double>::infinity();
   }
+  // True if either per-rack pipe constrains (the flow DES only takes
+  // its generalized multi-pipe path when this is set, keeping the
+  // shared-core arithmetic bit-for-bit otherwise).
+  bool rack_pipes_finite() const {
+    return rack_uplink_bytes_per_sec <
+               std::numeric_limits<double>::infinity() ||
+           rack_downlink_bytes_per_sec <
+               std::numeric_limits<double>::infinity();
+  }
 };
+
+// Payload bytes that cross a rack boundary under this topology — the
+// traffic a cloud bills as inter-AZ egress (analytics::DollarCost).
+// Each transmission contributes bytes × (copies entering other racks):
+// one copy per cross-rack receiver, or one per distinct destination
+// rack under rack_aware_multicast.
+double CrossRackBytes(const simnet::TransmissionLog& log,
+                      const Topology& topology);
 
 }  // namespace cts::simscen

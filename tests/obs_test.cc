@@ -4,6 +4,7 @@
 // shuffle byte conservation against TrafficStats for both the live and
 // the DES builders, and the baseline DES replay degenerating to the
 // live trace's span set.
+#include <cmath>
 #include <limits>
 #include <set>
 #include <sstream>
@@ -54,12 +55,22 @@ TEST(MetricRegistry, CountersGaugesHistograms) {
   EXPECT_EQ(h.count(), 3u);
   EXPECT_DOUBLE_EQ(h.sum(), 104.0);
   EXPECT_DOUBLE_EQ(h.max(), 100.0);
-  // Quantiles are bucket upper bounds: the median sample 3 lives in
-  // [2, 4), the top sample 100 in [64, 128). With only 3 samples the
-  // p99 rank (0.99 * (n-1)) still lands on the median.
-  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);
-  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0);
-  EXPECT_DOUBLE_EQ(h.quantile(1.0), 128.0);
+  // Quantiles are geometric bucket midpoints (upper bound / sqrt 2):
+  // the median sample 3 lives in [2, 4) -> 2*sqrt(2), the top sample
+  // 100 in [64, 128) -> 64*sqrt(2). With only 3 samples the p99 rank
+  // (0.99 * (n-1)) still lands on the median.
+  const double sqrt2 = std::sqrt(2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0 / sqrt2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 4.0 / sqrt2);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 128.0 / sqrt2);
+  // The estimate brackets the true sample within sqrt(2) either way.
+  EXPECT_GE(h.quantile(0.5), 3.0 / sqrt2);
+  EXPECT_LE(h.quantile(0.5), 3.0 * sqrt2);
+  // Out-of-range q clamps instead of computing a negative (or
+  // overflowing) rank: q < 0 is the minimum bucket, q > 1 the maximum.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 2.0 / sqrt2);  // sample 1 in [1, 2)
 }
 
 TEST(MetricRegistry, SnapshotExpandsAndResetKeepsHandles) {

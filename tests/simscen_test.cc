@@ -352,6 +352,205 @@ TEST(NetMakespanProperty, ConservesBytesAndIsMonotoneInLinkRates) {
   }
 }
 
+// ---- Per-rack uplink/downlink pipes (the generalized multi-pipe
+// ---- water-filling path) ----
+
+Topology RandomRackPipeTopology(Xoshiro256& rng, int n) {
+  Topology t = RandomTopology(rng, n);
+  // Asymmetric pipes: up and down drawn independently, each
+  // occasionally left infinite (mixed finite/infinite bookkeeping),
+  // but at least one finite so the water-filling path is exercised.
+  if (rng.below(4) != 0) {
+    t.rack_uplink_bytes_per_sec = 0.4 + 4.0 * rng.uniform();
+  }
+  if (rng.below(4) != 0) {
+    t.rack_downlink_bytes_per_sec = 0.4 + 4.0 * rng.uniform();
+  }
+  if (!t.rack_pipes_finite()) {
+    t.rack_downlink_bytes_per_sec = 0.4 + 4.0 * rng.uniform();
+  }
+  if (rng.below(2) == 0) t.rack_aware_multicast = true;
+  return t;
+}
+
+TEST(RackPipeProperty, ConservesBytesAndIsMonotoneInPipeRates) {
+  Xoshiro256 rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(7));
+    const TransmissionLog log = RandomLog(rng, n);
+    const Topology topo = RandomRackPipeTopology(rng, n);
+    double total_bytes = 0;
+    for (const auto& t : log) {
+      total_bytes += static_cast<double>(t.bytes);
+    }
+
+    for (const Discipline d : kAllDisciplines) {
+      for (const ReplayOrder o : kAllOrders) {
+        NetReplayStats stats;
+        const double makespan = NetMakespan(log, topo, d, o, {}, &stats);
+        ASSERT_GT(makespan, 0.0);
+
+        // Byte conservation survives the pipe constraints.
+        EXPECT_DOUBLE_EQ(stats.delivered_payload_bytes, total_bytes);
+        ASSERT_EQ(stats.flow_end.size(), log.size());
+        for (const double e : stats.flow_end) {
+          EXPECT_GT(e, 0.0);
+          EXPECT_LE(e, makespan * (1 + 1e-12));
+        }
+
+        // Scaling the whole fabric (access, core and both rack pipes)
+        // by 2 exactly halves the makespan.
+        Topology twice = topo;
+        twice.access_bytes_per_sec *= 2.0;
+        twice.core_bytes_per_sec *= 2.0;
+        twice.rack_uplink_bytes_per_sec *= 2.0;
+        twice.rack_downlink_bytes_per_sec *= 2.0;
+        EXPECT_NEAR(NetMakespan(log, twice, d, o), makespan / 2.0,
+                    makespan * 1e-12);
+
+        // Widening one pipe never hurts — and removing both entirely
+        // (back to the shared-core-only fabric) never hurts either.
+        Topology wider_up = topo;
+        wider_up.rack_uplink_bytes_per_sec *= 4.0;
+        EXPECT_LE(NetMakespan(log, wider_up, d, o), makespan * (1 + 1e-9));
+        Topology wider_down = topo;
+        wider_down.rack_downlink_bytes_per_sec *= 4.0;
+        EXPECT_LE(NetMakespan(log, wider_down, d, o),
+                  makespan * (1 + 1e-9));
+        Topology no_pipes = topo;
+        no_pipes.rack_uplink_bytes_per_sec =
+            std::numeric_limits<double>::infinity();
+        no_pipes.rack_downlink_bytes_per_sec =
+            std::numeric_limits<double>::infinity();
+        EXPECT_LE(NetMakespan(log, no_pipes, d, o), makespan * (1 + 1e-9));
+      }
+    }
+  }
+}
+
+TEST(RackPipeProperty, InfinitePipesAreBitForBitTheSharedCorePath) {
+  // Explicitly-infinite rack pipes must not change a single bit of the
+  // shared-core replay (rack_pipes_finite() gates the generalized
+  // path off), and effectively-unconstrained *finite* pipes — which do
+  // run the water-filling arithmetic — must land within 1e-9.
+  Xoshiro256 rng(20260809);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int n = 2 + static_cast<int>(rng.below(7));
+    const TransmissionLog log = RandomLog(rng, n);
+    const Topology topo = RandomTopology(rng, n);
+
+    Topology infinite = topo;
+    infinite.rack_uplink_bytes_per_sec =
+        std::numeric_limits<double>::infinity();
+    infinite.rack_downlink_bytes_per_sec =
+        std::numeric_limits<double>::infinity();
+    Topology huge = topo;
+    huge.rack_uplink_bytes_per_sec = 1e12;
+    huge.rack_downlink_bytes_per_sec = 1e12;
+
+    for (const Discipline d : kAllDisciplines) {
+      for (const ReplayOrder o : kAllOrders) {
+        NetReplayStats base_stats;
+        const double base = NetMakespan(log, topo, d, o, {}, &base_stats);
+
+        NetReplayStats inf_stats;
+        const double with_inf =
+            NetMakespan(log, infinite, d, o, {}, &inf_stats);
+        EXPECT_EQ(with_inf, base);
+        ASSERT_EQ(inf_stats.flow_end.size(), base_stats.flow_end.size());
+        for (std::size_t i = 0; i < base_stats.flow_end.size(); ++i) {
+          EXPECT_EQ(inf_stats.flow_end[i], base_stats.flow_end[i]);
+        }
+
+        const double with_huge = NetMakespan(log, huge, d, o);
+        EXPECT_NEAR(with_huge, base, base * 1e-9);
+      }
+    }
+  }
+}
+
+// Unit-access two-rack fabric ({0,1} | {2,3}), infinite core, so only
+// the configured rack pipe constrains. Durations equal byte counts
+// divided by the binding rate.
+Topology TwoRackPipes(double up, double down) {
+  Topology t;
+  t.num_nodes = 4;
+  t.nodes_per_rack = 2;
+  t.access_bytes_per_sec = 1.0;
+  t.multicast_log_coeff = 0.0;
+  t.rack_uplink_bytes_per_sec = up;
+  t.rack_downlink_bytes_per_sec = down;
+  return t;
+}
+
+constexpr double kInfRate = std::numeric_limits<double>::infinity();
+
+TEST(RackPipes, UplinkIsSharedByFlowsLeavingTheRack) {
+  const Topology topo = TwoRackPipes(/*up=*/0.5, /*down=*/kInfRate);
+  // One 10 B crossing flow: capped by rack 0's 0.5 B/s uplink.
+  EXPECT_DOUBLE_EQ(NetMakespan({{0, {2}, 10, 0}}, topo,
+                               Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   20.0);
+  // Two concurrent flows out of rack 0 share its uplink: 0.25 each.
+  EXPECT_DOUBLE_EQ(NetMakespan({{0, {2}, 10, 0}, {1, {3}, 10, 1}}, topo,
+                               Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   40.0);
+  // Opposite directions use different uplinks: no sharing.
+  EXPECT_DOUBLE_EQ(NetMakespan({{0, {2}, 10, 0}, {3, {1}, 10, 1}}, topo,
+                               Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   20.0);
+}
+
+TEST(RackPipes, DownlinkIsSharedByFlowsEnteringTheRack) {
+  const Topology topo = TwoRackPipes(/*up=*/kInfRate, /*down=*/0.5);
+  // Both flows enter rack 1: its downlink is the shared bottleneck.
+  EXPECT_DOUBLE_EQ(NetMakespan({{0, {2}, 10, 0}, {1, {3}, 10, 1}}, topo,
+                               Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   40.0);
+  // Opposite directions enter different racks: no sharing.
+  EXPECT_DOUBLE_EQ(NetMakespan({{0, {2}, 10, 0}, {3, {1}, 10, 1}}, topo,
+                               Discipline::kParallelFullDuplex,
+                               ReplayOrder::kLogOrder),
+                   20.0);
+}
+
+TEST(RackPipes, RackAwareMulticastPutsOneCopyOnTheDownlink) {
+  // A fanout-2 multicast into rack 1: the rack-oblivious sender pushes
+  // two copies through the 0.5 B/s downlink (effective 0.25 B/s); with
+  // rack-aware multicast the rack switch replicates, one copy, 0.5.
+  const TransmissionLog log{{0, {2, 3}, 10, 0}};
+  Topology topo = TwoRackPipes(/*up=*/kInfRate, /*down=*/0.5);
+  for (const Discipline d : kAllDisciplines) {
+    EXPECT_DOUBLE_EQ(
+        NetMakespan(log, topo, d, ReplayOrder::kLogOrder), 40.0);
+  }
+  topo.rack_aware_multicast = true;
+  for (const Discipline d : kAllDisciplines) {
+    EXPECT_DOUBLE_EQ(
+        NetMakespan(log, topo, d, ReplayOrder::kLogOrder), 20.0);
+  }
+}
+
+TEST(RackPipes, CrossRackBytesCountsCopiesEnteringOtherRacks) {
+  Topology topo = TwoRackPipes(kInfRate, kInfRate);
+  const TransmissionLog log{
+      {0, {1}, 10, 0},        // rack-local: free
+      {0, {2}, 100, 1},       // one copy across
+      {0, {2, 3}, 1000, 2},   // two copies across (per receiver)
+      {2, {0, 3}, 10000, 3},  // one across (dst 3 is rack-local)
+  };
+  EXPECT_DOUBLE_EQ(CrossRackBytes(log, topo), 100 + 2000 + 10000);
+  // Rack-aware multicast ships one copy per destination rack.
+  topo.rack_aware_multicast = true;
+  EXPECT_DOUBLE_EQ(CrossRackBytes(log, topo), 100 + 1000 + 10000);
+  // A single rack never crosses.
+  EXPECT_DOUBLE_EQ(CrossRackBytes(log, Topology::SingleRack(4)), 0.0);
+}
+
 // ---- Network-stage outages (fail-stop during the shuffle) ----
 
 TEST(NetMakespanOutage, InFlightTransferLosesProgressAndRestartsAfter) {

@@ -123,8 +123,15 @@ def compare(old, new, threshold, suffix):
     shared = sorted(set(old) & set(new))
     for key in shared:
         o, n = old[key], new[key]
-        if o <= 0 or math.isclose(o, n, rel_tol=1e-12, abs_tol=1e-12):
+        if math.isclose(o, n, rel_tol=1e-12, abs_tol=1e-12):
             delta = 0.0
+        elif o <= 0:
+            # A non-positive baseline has no meaningful relative delta,
+            # but a gating metric growing from 0 to positive is still a
+            # regression (a makespan that used to be free now costs
+            # real time); flag it as infinite growth instead of
+            # silently passing. Shrinking from 0 stays unchanged.
+            delta = math.inf if n > o else 0.0
         else:
             delta = (n - o) / o
         gating = key.endswith(suffix)
@@ -232,8 +239,22 @@ def self_test():
     assert any("new metric" in l for l in lines), lines
     assert any("removed" in l for l in lines), lines
 
-    # Zero baselines are treated as unchanged (no division blow-up).
-    regs, _ = compare({"z/total_s": 0.0}, {"z/total_s": 5.0},
+    # A gating metric growing from a zero baseline is a regression
+    # (infinite relative growth), not a silent pass — the historical
+    # bug let a makespan appear from nowhere without tripping the gate.
+    regs, lines = compare({"z/total_s": 0.0}, {"z/total_s": 5.0},
+                          0.15, "total_s")
+    assert [r[0] for r in regs] == ["z/total_s"], regs
+    assert regs[0][3] == math.inf, regs
+    assert any("REGRESSION" in l for l in lines), lines
+
+    # An exactly-zero baseline staying zero is unchanged (no division
+    # blow-up), and zero baselines on non-gating keys stay
+    # informational however they move.
+    regs, _ = compare({"z/total_s": 0.0}, {"z/total_s": 0.0},
+                      0.15, "total_s")
+    assert not regs, regs
+    regs, _ = compare({"c/wasted_s": 0.0}, {"c/wasted_s": 5.0},
                       0.15, "total_s")
     assert not regs, regs
 
