@@ -1,0 +1,104 @@
+#include "check/check.h"
+
+#include <sstream>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "simmpi/eventlog.h"
+
+namespace cts::check {
+
+namespace {
+
+std::string OutageLabel(const OutageSpec& o) {
+  std::ostringstream os;
+  os << "outage n" << o.node << " @" << o.start_frac << " for "
+     << o.dur_frac;
+  return os.str();
+}
+
+}  // namespace
+
+CheckReport CheckJob(const job::JobSpec& spec, job::RunCache& cache,
+                     const CheckOptions& opts) {
+  // Must be armed before the one live execution this cell memoizes;
+  // re-arming after a cached run has already executed without capture
+  // cannot recover its events (the report then says so).
+  simmpi::TransportRecorder::RequestCapture(true);
+  const auto run = cache.Get(spec.algorithm, spec.config);
+
+  CheckReport rep;
+  rep.algorithm = run->algorithm;
+  rep.transport_captured = !run->transport_events.empty();
+  if (opts.analyze_transport) {
+    rep.races = AnalyzeTransport(run->transport_events,
+                                 spec.config.num_nodes);
+  }
+
+  const simscen::Scenario scenario = spec.scenario.value_or(
+      simscen::Scenario::Baseline(spec.config.num_nodes));
+  // The executed-scale shuffle log: determinism is a property of the
+  // schedule structure, not of the reported scale, so no paper-records
+  // correction applies here.
+  const simnet::TransmissionLog& log = run->shuffle_log;
+  rep.baseline_makespan =
+      simscen::NetMakespan(log, scenario.topology, scenario.discipline,
+                           scenario.order);
+
+  ExploreOptions eopts;
+  eopts.budget = opts.ordering_budget;
+
+  CheckReport::Cell base;
+  base.label = "no-outage";
+  base.explore = ExploreOrderings(log, scenario.topology,
+                                  scenario.discipline, scenario.order,
+                                  simscen::LinkOutage{}, eopts);
+  rep.cells.push_back(std::move(base));
+
+  for (const OutageSpec& o : opts.outages) {
+    simscen::LinkOutage outage;
+    outage.node = o.node;
+    outage.start = o.start_frac * rep.baseline_makespan;
+    outage.end = (o.start_frac + o.dur_frac) * rep.baseline_makespan;
+    CheckReport::Cell cell;
+    cell.label = OutageLabel(o);
+    cell.explore = ExploreOrderings(log, scenario.topology,
+                                    scenario.discipline, scenario.order,
+                                    outage, eopts);
+    rep.cells.push_back(std::move(cell));
+  }
+
+  auto& reg = obs::MetricRegistry::Global();
+  reg.counter("check/orderings_explored").add(rep.orderings_explored());
+  reg.counter("check/races_found").add(rep.races.races.size());
+  reg.counter("check/invariant_violations")
+      .add(rep.invariant_violations());
+  for (const auto& c : rep.cells) {
+    reg.counter("check/decision_points").add(c.explore.decision_points);
+  }
+  return rep;
+}
+
+std::string Summarize(const CheckReport& report) {
+  std::ostringstream os;
+  os << report.algorithm << ": " << Summarize(report.races) << "\n";
+  for (const auto& c : report.cells) {
+    os << "  " << c.label << ": " << c.explore.decision_points
+       << " decision points (max width " << c.explore.max_tie_width
+       << "), " << c.explore.orderings_explored
+       << " orderings explored (" << c.explore.outage_timings
+       << " outage placements), " << c.explore.branches_pruned
+       << " pruned (" << c.explore.branches_validated << " validated)";
+    if (c.explore.certified()) {
+      os << " — certified";
+    } else {
+      os << " — " << c.explore.violations.size() << " VIOLATION(S): "
+         << c.explore.violations.front().invariant << " ("
+         << c.explore.violations.front().detail << ")";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cts::check

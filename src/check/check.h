@@ -1,0 +1,90 @@
+// CheckJob: the one-call determinism check for a job cell.
+//
+// Runs (or reuses, via the RunCache) the live thread-harness execution
+// for a JobSpec with transport capture armed, then runs both analyses
+// over it:
+//
+//   * the happens-before matching-race detection (check/race.h) on the
+//     captured send/post/match stream;
+//   * the DPOR-style ordering exploration (check/explore.h) on the
+//     run's shuffle transmission log under the spec's scenario network
+//     — once without an outage and once per requested OutageSpec.
+//
+// Outage windows are given as fractions of the cell's canonical
+// no-outage makespan, so one grid flag spans configurations whose
+// absolute makespans differ by orders of magnitude.
+//
+// Counters check/orderings_explored, check/races_found,
+// check/invariant_violations and check/decision_points are published
+// to the process obs::MetricRegistry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "check/explore.h"
+#include "check/race.h"
+#include "job/job.h"
+
+namespace cts::check {
+
+// An outage parameterized relative to the cell's baseline makespan M:
+// `node`'s links freeze during [start_frac*M, (start_frac+dur_frac)*M).
+struct OutageSpec {
+  NodeId node = 0;
+  double start_frac = 0.25;
+  double dur_frac = 0.25;
+};
+
+struct CheckOptions {
+  // Per-cell DES exploration budget (ExploreOptions::budget).
+  std::size_t ordering_budget = 128;
+  // Outage timings to explore, each a separate cell on top of the
+  // always-run no-outage cell.
+  std::vector<OutageSpec> outages;
+  // Skip the transport race analysis (the explore cells still run);
+  // grids dedup the analysis per (algorithm, config) key this way.
+  bool analyze_transport = true;
+};
+
+struct CheckReport {
+  struct Cell {
+    std::string label;  // "no-outage" or "outage n0 @0.25 for 0.25"
+    ExploreReport explore;
+  };
+
+  std::string algorithm;
+  bool transport_captured = false;  // events > 0 in the analyzed log
+  RaceReport races;
+  double baseline_makespan = 0;  // canonical no-outage DES makespan
+  std::vector<Cell> cells;
+
+  std::size_t orderings_explored() const {
+    std::size_t n = 0;
+    for (const auto& c : cells) n += c.explore.orderings_explored;
+    return n;
+  }
+  std::size_t invariant_violations() const {
+    std::size_t n = 0;
+    for (const auto& c : cells) n += c.explore.violations.size();
+    return n;
+  }
+  bool certified() const {
+    return races.races.empty() && invariant_violations() == 0;
+  }
+};
+
+// Checks one job cell. Arms transport capture (process-global; stays
+// armed), fetches the cell's live run through `cache`, analyzes it.
+// The network (topology/discipline/order) comes from spec.scenario,
+// defaulting to simscen::Scenario::Baseline. The serial discipline has
+// no ordering freedom, so specs using it get trivially-certified
+// explore cells (0 decision points).
+CheckReport CheckJob(const job::JobSpec& spec, job::RunCache& cache,
+                     const CheckOptions& opts = {});
+
+// Renders the report as human-readable lines (one per analysis/cell).
+std::string Summarize(const CheckReport& report);
+
+}  // namespace cts::check

@@ -1,0 +1,316 @@
+#include "check/race.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+
+#include "common/check.h"
+
+namespace cts::check {
+
+namespace {
+
+using simmpi::CommId;
+using simmpi::Tag;
+using simmpi::TransportEvent;
+using simmpi::TransportEventKind;
+using simmpi::TransportLog;
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Full match key: (destination mailbox, communicator, source, tag).
+using MatchKey = std::tuple<NodeId, CommId, NodeId, Tag>;
+// Wildcard-compatible key: a post with src == kAnySource matches sends
+// from every source on (destination, communicator, tag).
+using AnyKey = std::tuple<NodeId, CommId, Tag>;
+
+MatchKey KeyOf(const TransportEvent& e) {
+  return {e.dst, e.comm, e.src, e.tag};
+}
+
+const char* KindName(TransportEventKind k) {
+  switch (k) {
+    case TransportEventKind::kSend: return "send";
+    case TransportEventKind::kPost: return "post";
+    case TransportEventKind::kMatch: return "match";
+  }
+  return "?";
+}
+
+std::string Describe(const TransportEvent& e) {
+  std::ostringstream os;
+  os << KindName(e.kind) << "#" << e.stamp << " by n" << e.performer
+     << " on (dst=n" << e.dst << ", comm=" << e.comm << ", src=";
+  if (e.src == simmpi::kAnySource) {
+    os << "ANY";
+  } else {
+    os << "n" << e.src;
+  }
+  os << ", tag=" << e.tag << ", idx=" << e.index << ")";
+  return os.str();
+}
+
+// The whole analysis state for one log, so the witness builder can
+// reuse the edge structure the vector-clock pass derived.
+class Analysis {
+ public:
+  Analysis(const TransportLog& input, int num_nodes)
+      : width_(static_cast<std::size_t>(num_nodes)) {
+    log_ = input;
+    std::sort(log_.begin(), log_.end(),
+              [](const TransportEvent& a, const TransportEvent& b) {
+                return a.stamp < b.stamp;
+              });
+  }
+
+  RaceReport Run() {
+    RaceReport rep;
+    rep.events = log_.size();
+    if (log_.empty()) return rep;
+    ComputeClocks(rep);
+    FindRaces(rep);
+    if (!rep.races.empty()) BuildWitnesses(rep.races.front());
+    return rep;
+  }
+
+ private:
+  // One vector-clock pass in stamp order: program order advances each
+  // performer's clock; every resolvable match joins the clock of the
+  // send whose arrival index its ticket redeems.
+  void ComputeClocks(RaceReport& rep) {
+    vc_.assign(log_.size(), {});
+    match_src_.assign(log_.size(), kNone);
+    std::map<std::tuple<NodeId, CommId, NodeId, Tag, std::uint64_t>,
+             std::size_t>
+        send_at;
+    std::vector<std::vector<std::uint64_t>> clock(
+        width_, std::vector<std::uint64_t>(width_, 0));
+    std::set<MatchKey> keys;
+    for (std::size_t i = 0; i < log_.size(); ++i) {
+      const TransportEvent& e = log_[i];
+      CTS_CHECK_GE(e.performer, 0);
+      CTS_CHECK_LT(e.performer, static_cast<NodeId>(width_));
+      auto& c = clock[static_cast<std::size_t>(e.performer)];
+      switch (e.kind) {
+        case TransportEventKind::kSend:
+          ++rep.sends;
+          send_at[{e.dst, e.comm, e.src, e.tag, e.index}] = i;
+          sends_by_key_[KeyOf(e)].push_back(i);
+          sends_by_any_[{e.dst, e.comm, e.tag}].push_back(i);
+          keys.insert(KeyOf(e));
+          break;
+        case TransportEventKind::kPost:
+          ++rep.posts;
+          posts_by_key_[KeyOf(e)].push_back(i);
+          if (e.src == simmpi::kAnySource) {
+            wildcard_posts_[{e.dst, e.comm, e.tag}].push_back(i);
+          }
+          keys.insert(KeyOf(e));
+          break;
+        case TransportEventKind::kMatch: {
+          ++rep.matches;
+          const auto it =
+              send_at.find({e.dst, e.comm, e.src, e.tag, e.index});
+          if (it != send_at.end()) {
+            match_src_[i] = it->second;
+            ++rep.hb_edges;
+            const auto& sv = vc_[it->second];
+            for (std::size_t k = 0; k < width_; ++k) {
+              c[k] = std::max(c[k], sv[k]);
+            }
+          }
+          break;
+        }
+      }
+      c[static_cast<std::size_t>(e.performer)] += 1;
+      vc_[i] = c;
+    }
+    rep.keys = keys.size();
+  }
+
+  // x happens-before y (assumes stamp(x) < stamp(y)) iff y's clock has
+  // absorbed x's tick of x's performer component.
+  bool HappensBefore(std::size_t x, std::size_t y) const {
+    const auto p = static_cast<std::size_t>(log_[x].performer);
+    return vc_[y][p] >= vc_[x][p];
+  }
+
+  bool Concurrent(std::size_t x, std::size_t y) const {
+    if (log_[x].stamp > log_[y].stamp) std::swap(x, y);
+    return !HappensBefore(x, y);
+  }
+
+  void AddRace(RaceReport& rep, MatchingRace::Kind kind, std::size_t x,
+               std::size_t y, const std::string& why) {
+    if (log_[x].stamp > log_[y].stamp) std::swap(x, y);
+    MatchingRace race;
+    race.kind = kind;
+    race.a = log_[x];
+    race.b = log_[y];
+    race.description =
+        why + ": " + Describe(log_[x]) + "  ||  " + Describe(log_[y]);
+    rep.races.push_back(std::move(race));
+  }
+
+  void FindRaces(RaceReport& rep) {
+    // Sends on one fully named key must form a happens-before chain in
+    // arrival order; a concurrent consecutive pair means the arrival
+    // indices — and hence which posted receive each send feeds — could
+    // have come out the other way. Consecutive pairs suffice: chained
+    // orderings compose transitively.
+    for (auto& [key, sends] : sends_by_key_) {
+      SortByIndex(sends);
+      for (std::size_t j = 0; j + 1 < sends.size(); ++j) {
+        if (Concurrent(sends[j], sends[j + 1])) {
+          AddRace(rep, MatchingRace::Kind::kSendSend, sends[j],
+                  sends[j + 1],
+                  "concurrent sends on one match key");
+        }
+      }
+    }
+    // Receive postings on one key likewise: two concurrent posts could
+    // have drawn their tickets in either order.
+    for (auto& [key, posts] : posts_by_key_) {
+      SortByIndex(posts);
+      for (std::size_t j = 0; j + 1 < posts.size(); ++j) {
+        if (Concurrent(posts[j], posts[j + 1])) {
+          AddRace(rep, MatchingRace::Kind::kRecvRecv, posts[j],
+                  posts[j + 1],
+                  "concurrent receive postings on one match key");
+        }
+      }
+    }
+    // A wildcard post widens the candidate set to every source on
+    // (dst, comm, tag): any two concurrent sends there are ambiguous,
+    // whatever their named keys. Pairwise, because sends of different
+    // sources carry no per-key arrival order to chain through.
+    for (auto& [key, posts] : wildcard_posts_) {
+      (void)posts;
+      const auto it = sends_by_any_.find(key);
+      if (it == sends_by_any_.end()) continue;
+      const auto& sends = it->second;
+      for (std::size_t x = 0; x < sends.size(); ++x) {
+        for (std::size_t y = x + 1; y < sends.size(); ++y) {
+          if (log_[sends[x]].src == log_[sends[y]].src) continue;
+          if (Concurrent(sends[x], sends[y])) {
+            AddRace(rep, MatchingRace::Kind::kSendSend, sends[x],
+                    sends[y],
+                    "concurrent sends visible to a wildcard receive");
+          }
+        }
+      }
+    }
+    std::sort(rep.races.begin(), rep.races.end(),
+              [](const MatchingRace& a, const MatchingRace& b) {
+                return std::max(a.a.stamp, a.b.stamp) <
+                       std::max(b.a.stamp, b.b.stamp);
+              });
+  }
+
+  void SortByIndex(std::vector<std::size_t>& events) const {
+    std::sort(events.begin(), events.end(),
+              [this](std::size_t a, std::size_t b) {
+                return log_[a].index < log_[b].index;
+              });
+  }
+
+  // Two complete linearizations of the happens-before partial order
+  // for the minimal racy pair: the recorded schedule (min-stamp
+  // greedy) and one where the pair commutes (the earlier event is
+  // deferred until the later one has been scheduled — always possible,
+  // the pair being concurrent).
+  void BuildWitnesses(MatchingRace& race) {
+    std::size_t a_pos = kNone;
+    std::size_t b_pos = kNone;
+    for (std::size_t i = 0; i < log_.size(); ++i) {
+      if (log_[i].stamp == race.a.stamp) a_pos = i;
+      if (log_[i].stamp == race.b.stamp) b_pos = i;
+    }
+    CTS_CHECK(a_pos != kNone && b_pos != kNone);
+
+    std::vector<std::vector<std::size_t>> adj(log_.size());
+    std::vector<int> indeg(log_.size(), 0);
+    std::vector<std::size_t> last(width_, kNone);
+    for (std::size_t i = 0; i < log_.size(); ++i) {
+      const auto p = static_cast<std::size_t>(log_[i].performer);
+      if (last[p] != kNone) {
+        adj[last[p]].push_back(i);
+        ++indeg[i];
+      }
+      last[p] = i;
+      if (match_src_[i] != kNone) {
+        adj[match_src_[i]].push_back(i);
+        ++indeg[i];
+      }
+    }
+
+    const auto linearize = [&](std::size_t defer, std::size_t until) {
+      std::vector<std::uint64_t> out;
+      out.reserve(log_.size());
+      std::vector<int> deg = indeg;
+      std::set<std::pair<std::uint64_t, std::size_t>> ready;
+      for (std::size_t i = 0; i < log_.size(); ++i) {
+        if (deg[i] == 0) ready.insert({log_[i].stamp, i});
+      }
+      bool until_done = until == kNone;
+      while (!ready.empty()) {
+        auto it = ready.begin();
+        if (!until_done && it->second == defer) {
+          ++it;
+          // `until` never depends on `defer` (they are concurrent), so
+          // some other event is always schedulable first.
+          CTS_CHECK(it != ready.end());
+        }
+        const std::size_t i = it->second;
+        ready.erase(it);
+        out.push_back(log_[i].stamp);
+        if (i == until) until_done = true;
+        for (const std::size_t j : adj[i]) {
+          if (--deg[j] == 0) ready.insert({log_[j].stamp, j});
+        }
+      }
+      CTS_CHECK_EQ(out.size(), log_.size());
+      return out;
+    };
+    race.witness_recorded = linearize(kNone, kNone);
+    race.witness_flipped = linearize(a_pos, b_pos);
+  }
+
+  const std::size_t width_;
+  TransportLog log_;
+  std::vector<std::vector<std::uint64_t>> vc_;
+  std::vector<std::size_t> match_src_;
+  std::map<MatchKey, std::vector<std::size_t>> sends_by_key_;
+  std::map<MatchKey, std::vector<std::size_t>> posts_by_key_;
+  std::map<AnyKey, std::vector<std::size_t>> sends_by_any_;
+  std::map<AnyKey, std::vector<std::size_t>> wildcard_posts_;
+};
+
+}  // namespace
+
+RaceReport AnalyzeTransport(const simmpi::TransportLog& log,
+                            int num_nodes) {
+  CTS_CHECK_GE(num_nodes, 1);
+  return Analysis(log, num_nodes).Run();
+}
+
+std::string Summarize(const RaceReport& report) {
+  std::ostringstream os;
+  if (report.events == 0) {
+    os << "transport: no events captured (capture off or no run)";
+  } else if (report.certified()) {
+    os << "determinism certificate: " << report.events << " events, "
+       << report.keys << " match keys, " << report.hb_edges
+       << " message edges — the recorded schedule is the unique "
+          "linearization";
+  } else {
+    os << report.races.size() << " matching race(s); minimal pair: "
+       << report.races.front().description;
+  }
+  return os.str();
+}
+
+}  // namespace cts::check

@@ -253,6 +253,7 @@ CmrResult RunCmr(const CmrApp& app, const CmrConfig& config) {
   result.total_iv_bytes = total_iv_bytes.load();
   result.shuffled_payload_bytes = payload_bytes.load();
   result.shuffle_log = world.stats().transmission_log(stage::kShuffle);
+  result.transport_events = world.transport_log();
   result.stage_order = recorder.stage_order();
   result.compute_events = recorder.compute_events();
   CTS_CHECK_EQ(world.pending_messages(), std::size_t{0});

@@ -38,6 +38,7 @@
 
 #include "common/types.h"
 #include "driver/run_result.h"
+#include "simmpi/eventlog.h"
 #include "simmpi/traffic.h"
 
 namespace cts::cmr {
@@ -97,6 +98,10 @@ struct CmrResult {
   // Ordered shuffle transmissions (true initiation order), for
   // discrete-event replay by simnet::ReplayMakespan.
   simnet::TransmissionLog shuffle_log;
+
+  // Transport events for happens-before analysis (empty unless capture
+  // was requested; see AlgorithmResult::transport_events).
+  simmpi::TransportLog transport_events;
 
   // Stage names in execution order and per-node stage boundaries at
   // executed scale; the scenario engine replays these (CMR has no

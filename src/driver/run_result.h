@@ -16,6 +16,7 @@
 #include "common/types.h"
 #include "keyvalue/record.h"
 #include "keyvalue/teragen.h"
+#include "simmpi/eventlog.h"
 #include "simmpi/traffic.h"
 
 namespace cts {
@@ -162,6 +163,13 @@ struct AlgorithmResult {
   // Ordered shuffle transmissions, for discrete-event replay
   // (simnet::SerialMakespan / ParallelMakespan).
   simnet::TransmissionLog shuffle_log;
+
+  // Transport send/post/match events of the whole run, for the
+  // happens-before race analysis (src/check). Empty unless
+  // simmpi::TransportRecorder::RequestCapture(true) was set before the
+  // run executed (ctcheck and the check tests do; normal runs pay only
+  // the disabled-branch test).
+  simmpi::TransportLog transport_events;
 
   // Per-stage wall seconds: max over nodes of that node's stage time
   // (the stage completes when its slowest node does).

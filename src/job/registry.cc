@@ -48,6 +48,7 @@ AlgorithmResult RunCmrAsJob(const SortConfig& config) {
   result.algorithm = "CMR-" + app->name();
   result.traffic = run.traffic;
   result.shuffle_log = run.shuffle_log;
+  result.transport_events = run.transport_events;
   result.stage_order = run.stage_order;
   result.compute_events = run.compute_events;
   for (const ComputeEvent& e : run.compute_events) {

@@ -32,6 +32,7 @@
 
 #include "common/buffer.h"
 #include "common/types.h"
+#include "simmpi/eventlog.h"
 
 namespace cts::simmpi {
 
@@ -40,11 +41,19 @@ using Tag = std::int32_t;
 
 class Mailbox {
  public:
+  // `owner` is the destination node this mailbox belongs to;
+  // `recorder`, when armed, captures the matching-relevant events for
+  // the happens-before analysis in src/check (see simmpi/eventlog.h).
+  explicit Mailbox(NodeId owner = 0, TransportRecorder* recorder = nullptr)
+      : owner_(owner), recorder_(recorder) {}
+
   // Enqueues a message for this mailbox's owner.
   void deliver(CommId comm, NodeId src, Tag tag, Buffer payload) {
     {
       std::lock_guard lock(mu_);
       auto& state = keys_[Key{comm, src, tag}];
+      record(TransportEventKind::kSend, /*performer=*/src, src, comm, tag,
+             state.arrived, payload.size());
       state.msgs.emplace(state.arrived++, std::move(payload));
     }
     cv_.notify_all();
@@ -55,7 +64,9 @@ class Mailbox {
   std::uint64_t post(CommId comm, NodeId src, Tag tag) {
     std::lock_guard lock(mu_);
     posted_recvs_.fetch_add(1, std::memory_order_relaxed);
-    return keys_[Key{comm, src, tag}].next_ticket++;
+    const std::uint64_t ticket = keys_[Key{comm, src, tag}].next_ticket++;
+    record(TransportEventKind::kPost, owner_, src, comm, tag, ticket, 0);
+    return ticket;
   }
 
   // Blocks until the message with arrival index `ticket` on the key
@@ -67,7 +78,10 @@ class Mailbox {
       const auto it = keys_.find(key);
       return it != keys_.end() && it->second.msgs.contains(ticket);
     });
-    return take(key, ticket);
+    Buffer payload = take(key, ticket);
+    record(TransportEventKind::kMatch, owner_, src, comm, tag, ticket,
+           payload.size());
+    return payload;
   }
 
   // Non-waiting claim: removes and returns the ticket's message if it
@@ -80,7 +94,10 @@ class Mailbox {
     if (it == keys_.end() || !it->second.msgs.contains(ticket)) {
       return std::nullopt;
     }
-    return take(key, ticket);
+    Buffer payload = take(key, ticket);
+    record(TransportEventKind::kMatch, owner_, src, comm, tag, ticket,
+           payload.size());
+    return payload;
   }
 
   // Blocking receive: reserve the key's next match slot and claim it.
@@ -89,6 +106,7 @@ class Mailbox {
     {
       std::lock_guard lock(mu_);
       ticket = keys_[Key{comm, src, tag}].next_ticket++;
+      record(TransportEventKind::kPost, owner_, src, comm, tag, ticket, 0);
     }
     return claim(comm, src, tag, ticket);
   }
@@ -121,6 +139,24 @@ class Mailbox {
     std::uint64_t next_ticket = 0;         // match slots ever reserved
   };
 
+  // Requires mu_ held (stamps drawn under it order every kMatch after
+  // the kSend it consumes; see TransportRecorder::Record).
+  void record(TransportEventKind kind, NodeId performer, NodeId src,
+              CommId comm, Tag tag, std::uint64_t index,
+              std::uint64_t bytes) {
+    if (recorder_ == nullptr || !recorder_->armed()) return;
+    TransportEvent ev;
+    ev.kind = kind;
+    ev.performer = performer;
+    ev.dst = owner_;
+    ev.src = src;
+    ev.comm = comm;
+    ev.tag = tag;
+    ev.index = index;
+    ev.bytes = bytes;
+    recorder_->Record(ev);
+  }
+
   // Requires mu_ held and the ticket's message present. Reclaims the
   // key state only when nothing is queued AND no reservation is
   // outstanding (an outstanding ticket anticipates a future arrival
@@ -136,6 +172,10 @@ class Mailbox {
     return payload;
   }
 
+  const NodeId owner_ = 0;
+  TransportRecorder* const recorder_ = nullptr;
+  // repo-lint: allow(mutex): the transport is already sharded one
+  // mailbox per destination node — this is that shard's lock.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<Key, KeyState> keys_;

@@ -40,7 +40,7 @@ class World {
     CTS_CHECK_GE(num_nodes, 1);
     mailboxes_.reserve(static_cast<std::size_t>(num_nodes));
     for (int i = 0; i < num_nodes; ++i) {
-      mailboxes_.push_back(std::make_unique<Mailbox>());
+      mailboxes_.push_back(std::make_unique<Mailbox>(i, &recorder_));
     }
   }
 
@@ -63,6 +63,12 @@ class World {
     for (const auto& mb : mailboxes_) n += mb->pending();
     return n;
   }
+
+  // Transport events captured during this World's lifetime, merged in
+  // stamp order — empty unless TransportRecorder::RequestCapture(true)
+  // was set before construction. Call after the node threads joined.
+  TransportLog transport_log() const { return recorder_.Snapshot(); }
+  bool transport_capture_armed() const { return recorder_.armed(); }
 
   // ---- Collective split rendezvous (backs Comm::split) ----
   //
@@ -96,6 +102,8 @@ class World {
   };
 
   struct SplitState {
+    // repo-lint: allow(mutex): cold-path rendezvous — one lock per
+    // in-flight split collective, never touched by the shuffle.
     std::mutex mu;
     std::condition_variable cv;
     std::vector<SplitEntry> entries;
@@ -109,9 +117,13 @@ class World {
   void retire_split_state(CommId comm, std::uint64_t epoch);
 
   int num_nodes_;
+  // Declared before the mailboxes that hold pointers into it.
+  TransportRecorder recorder_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   TrafficStats stats_;
 
+  // repo-lint: allow(mutex): cold-path split-state registry, taken
+  // once per collective split, never on the message path.
   std::mutex split_mu_;
   std::map<std::pair<CommId, std::uint64_t>, std::shared_ptr<SplitState>>
       splits_;

@@ -82,9 +82,9 @@ class FlowSim {
  public:
   FlowSim(const simnet::TransmissionLog& log, const Topology& topo,
           bool full_duplex, simnet::ReplayOrder order,
-          const LinkOutage& outage)
+          const LinkOutage& outage, OrderingHook* hook)
       : log_(log), topo_(topo), full_duplex_(full_duplex), order_(order),
-        outage_(outage) {
+        outage_(outage), hook_(hook) {
     const int n = topo.num_nodes;
     CTS_CHECK_GE(n, 1);
     CTS_CHECK_GT(topo.access_bytes_per_sec, 0.0);
@@ -221,14 +221,26 @@ class FlowSim {
       CTS_CHECK_LT(t_next, kInf);
       now = std::max(now, t_next);
 
-      // Process every flow whose candidate equals the event time (ties
-      // come from identical arithmetic and compare equal).
+      // Collect every flow whose candidate equals the event time (ties
+      // come from identical arithmetic and compare equal), then let
+      // the ordering hook pick a processing order — the DPOR seam.
+      // Batch members never change each other's candidate time
+      // (Release touches resources, not rates; Admit/Reallocate run
+      // after the batch), so collect-then-process with the canonical
+      // ascending order is the historical behaviour bit-for-bit.
+      tie_.clear();
       for (std::size_t i = 0; i < flows_.size(); ++i) {
-        Flow& f = flows_[i];
+        const Flow& f = flows_[i];
         if (!f.admitted || f.done) continue;
         const double cand =
             f.seg_start + (f.next_threshold() - f.seg_sent) / f.rate;
         if (cand > t_next) continue;
+        tie_.push_back(i);
+      }
+      for (const std::size_t i :
+           ChooseOrder(OrderingDecision::Kind::kCompletionTie, t_next,
+                       tie_)) {
+        Flow& f = flows_[i];
         // Snap progress to the threshold (no drift).
         f.seg_sent = f.next_threshold();
         f.seg_start = t_next;
@@ -303,9 +315,18 @@ class FlowSim {
     if (outage_hit_ || !outage_.active() || now < outage_.start) return;
     outage_hit_ = true;
     if (now >= outage_.end) return;  // zero-length window inside a step
+    // The victims' re-queue order decides who re-enters each link
+    // queue first once the outage lifts — a real scheduling freedom
+    // (unlike completion ties, alternative orders may legally change
+    // the makespan), so it is the second hook decision kind.
+    tie_.clear();
     for (std::size_t i = 0; i < flows_.size(); ++i) {
+      const Flow& f = flows_[i];
+      if (f.admitted && !f.done && f.touches_outage) tie_.push_back(i);
+    }
+    for (const std::size_t i :
+         ChooseOrder(OrderingDecision::Kind::kOutageRequeue, now, tie_)) {
       Flow& f = flows_[i];
-      if (!f.admitted || f.done || !f.touches_outage) continue;
       for (const int r : needed(f)) {
         Release(r);
         if (order_ == simnet::ReplayOrder::kLogOrder) {
@@ -322,6 +343,24 @@ class FlowSim {
       f.seg_start = now;
       f.seg_sent = f.receivers_released ? f.payload : 0.0;
     }
+  }
+
+  // The hook-or-canonical processing order for one decision batch.
+  // Returns `canonical` untouched (no copy) when no hook is installed
+  // or the batch has a single member.
+  const std::vector<std::size_t>& ChooseOrder(
+      OrderingDecision::Kind kind, double time,
+      const std::vector<std::size_t>& canonical) {
+    if (hook_ == nullptr || canonical.size() < 2) return canonical;
+    chosen_ = hook_->Choose(OrderingDecision{kind, time, canonical});
+    std::vector<std::size_t> got = chosen_;
+    std::sort(got.begin(), got.end());
+    std::vector<std::size_t> want = canonical;
+    std::sort(want.begin(), want.end());
+    CTS_CHECK_MSG(got == want,
+                  "OrderingHook returned a non-permutation of the "
+                  "candidate batch");
+    return chosen_;
   }
 
   bool Admissible(std::size_t i, double now) const {
@@ -522,6 +561,9 @@ class FlowSim {
   const bool full_duplex_;
   const simnet::ReplayOrder order_;
   const LinkOutage outage_;
+  OrderingHook* const hook_;
+  std::vector<std::size_t> tie_;     // reused decision-batch buffer
+  std::vector<std::size_t> chosen_;  // hook-returned order buffer
   bool use_pipes_ = false;
   std::vector<double> pipe_cap_;  // core, then per-rack up, then down
   bool outage_hit_ = false;
@@ -622,7 +664,7 @@ void PublishReplayMetrics(const NetReplayStats& stats) {
 double NetMakespan(const simnet::TransmissionLog& log,
                    const Topology& topology, simnet::Discipline discipline,
                    simnet::ReplayOrder order, const LinkOutage& outage,
-                   NetReplayStats* stats) {
+                   NetReplayStats* stats, OrderingHook* hook) {
   CTS_CHECK_GE(topology.num_nodes, 1);
   NetReplayStats local;
   if (stats == nullptr) stats = &local;
@@ -631,12 +673,14 @@ double NetMakespan(const simnet::TransmissionLog& log,
   double makespan = 0;
   switch (discipline) {
     case simnet::Discipline::kSerial:
+      // One transmission at a time in program order: no simultaneous
+      // events, nothing for a hook to reorder.
       makespan = SerialNetMakespan(log, topology, outage, stats);
       break;
     case simnet::Discipline::kParallelHalfDuplex:
     case simnet::Discipline::kParallelFullDuplex: {
       const bool fd = discipline == simnet::Discipline::kParallelFullDuplex;
-      makespan = FlowSim(log, topology, fd, order, outage).Run(stats);
+      makespan = FlowSim(log, topology, fd, order, outage, hook).Run(stats);
       break;
     }
   }

@@ -26,6 +26,7 @@
 // accumulation (tests assert 1e-9 relative agreement).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -49,6 +50,32 @@ struct LinkOutage {
 
   bool active() const { return node >= 0 && end > start && end > 0; }
   bool covers(double t) const { return active() && t >= start && t < end; }
+};
+
+// A point where the DES's processing order is not forced by event
+// times: several flows cross a rate threshold at the same instant
+// (kCompletionTie — the `cand <= t_next` batch in FlowSim::Run), or an
+// outage re-queues several in-flight flows at once (kOutageRequeue —
+// their order at the back of the link queues). `candidates` holds the
+// flow indices (positions in the replayed log) in the canonical order
+// the simulator would process them.
+struct OrderingDecision {
+  enum class Kind { kCompletionTie, kOutageRequeue };
+  Kind kind = Kind::kCompletionTie;
+  double time = 0;
+  std::vector<std::size_t> candidates;
+};
+
+// Exploration seam for the DPOR-style ordering explorer (src/check):
+// NetMakespan consults the hook at every decision with >= 2 candidates
+// and processes them in the returned order, which must be a
+// permutation of `d.candidates`. A null hook keeps the canonical order
+// — bit-for-bit the historical behaviour, at the cost of one branch
+// per event batch.
+class OrderingHook {
+ public:
+  virtual ~OrderingHook() = default;
+  virtual std::vector<std::size_t> Choose(const OrderingDecision& d) = 0;
 };
 
 // Optional per-flow detail of one replay, for tests, invariants and
@@ -77,12 +104,15 @@ struct NetReplayStats {
 // medium: one transmission at a time, each at the minimum rate along
 // its path (access, and core if cross-rack); `order` is ignored there.
 // `outage` freezes one node's links for a window (see LinkOutage);
-// `stats`, if non-null, receives per-flow completion times.
+// `stats`, if non-null, receives per-flow completion times. `hook`, if
+// non-null, chooses the processing order at every OrderingDecision
+// (parallel disciplines only; kSerial has no simultaneous events).
 double NetMakespan(const simnet::TransmissionLog& log,
                    const Topology& topology,
                    simnet::Discipline discipline,
                    simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder,
                    const LinkOutage& outage = {},
-                   NetReplayStats* stats = nullptr);
+                   NetReplayStats* stats = nullptr,
+                   OrderingHook* hook = nullptr);
 
 }  // namespace cts::simscen

@@ -167,6 +167,7 @@ AlgorithmResult RunTeraSort(const SortConfig& config) {
   }
   result.shuffle_node_traffic = world.stats().per_node(stage::kShuffle);
   result.shuffle_log = world.stats().transmission_log(stage::kShuffle);
+  result.transport_events = world.transport_log();
   CTS_CHECK_EQ(result.total_output_records(), config.num_records);
   CTS_CHECK_EQ(world.pending_messages(), std::size_t{0});
   return result;

@@ -963,5 +963,102 @@ TEST(ReplayScenario, OversubscribedCoreFlipsTheWinner) {
   EXPECT_GT(ts_slow / ts_fast, cts_slow / cts_fast);
 }
 
+// ---- Ordering-hook seam ----
+
+// Forces one fixed permutation of the first multi-candidate decision
+// batch; every later decision stays canonical.
+class FirstDecisionPermutationHook : public OrderingHook {
+ public:
+  explicit FirstDecisionPermutationHook(std::vector<std::size_t> perm)
+      : perm_(std::move(perm)) {}
+
+  std::vector<std::size_t> Choose(const OrderingDecision& d) override {
+    ++decisions_;
+    if (decisions_ > 1) return d.candidates;
+    widths_.push_back(d.candidates.size());
+    std::vector<std::size_t> out;
+    for (const std::size_t p : perm_) out.push_back(d.candidates.at(p));
+    return out;
+  }
+
+  int decisions() const { return decisions_; }
+  const std::vector<std::size_t>& widths() const { return widths_; }
+
+ private:
+  const std::vector<std::size_t> perm_;
+  int decisions_ = 0;
+  std::vector<std::size_t> widths_;
+};
+
+TEST(NetMakespan, TieOrderPermutationInvariance) {
+  // Three disjoint equal-size unicasts on a unit-rate rack: all three
+  // complete at the same instant, so the DES faces one genuine
+  // three-way completion tie. Whatever order the batch is processed
+  // in, the replay must be bit-for-bit identical — makespan, per-flow
+  // completion times, and delivered bytes.
+  const Topology topo = UnitRack(6);
+  TransmissionLog log;
+  log.push_back({0, {1}, 500, 0});
+  log.push_back({2, {3}, 500, 1});
+  log.push_back({4, {5}, 500, 2});
+
+  NetReplayStats canonical;
+  const double base = NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+                                  ReplayOrder::kLogOrder, {}, &canonical);
+  EXPECT_DOUBLE_EQ(base, 500.0);
+
+  std::vector<std::size_t> perm = {0, 1, 2};
+  int permutations = 0;
+  do {
+    FirstDecisionPermutationHook hook(perm);
+    NetReplayStats stats;
+    const double m =
+        NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+                    ReplayOrder::kLogOrder, {}, &stats, &hook);
+    ASSERT_GE(hook.decisions(), 1) << "no simultaneous-event batch seen";
+    ASSERT_EQ(hook.widths().front(), 3u) << "expected a three-way tie";
+    // Bitwise, not approximate: tie order must not leak into results.
+    EXPECT_EQ(m, base);
+    EXPECT_EQ(stats.flow_end, canonical.flow_end);
+    EXPECT_EQ(stats.flow_start, canonical.flow_start);
+    EXPECT_EQ(stats.delivered_payload_bytes,
+              canonical.delivered_payload_bytes);
+    ++permutations;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_EQ(permutations, 6);
+}
+
+TEST(NetMakespan, HookReceivesOutageRequeueDecisions) {
+  // Full duplex: node 1 both receives (0 -> 1) and transmits (1 -> 2)
+  // when the outage freezes it, so the requeue batch holds two flows.
+  const Topology topo = UnitRack(4);
+  TransmissionLog log;
+  log.push_back({0, {1}, 1000, 0});
+  log.push_back({1, {2}, 1000, 1});
+
+  LinkOutage outage;
+  outage.node = 1;
+  outage.start = 200;
+  outage.end = 300;
+
+  class CountingHook : public OrderingHook {
+   public:
+    std::vector<std::size_t> Choose(const OrderingDecision& d) override {
+      if (d.kind == OrderingDecision::Kind::kOutageRequeue) {
+        requeue_widths.push_back(d.candidates.size());
+      }
+      return d.candidates;
+    }
+    std::vector<std::size_t> requeue_widths;
+  } hook;
+
+  NetReplayStats stats;
+  NetMakespan(log, topo, Discipline::kParallelFullDuplex,
+              ReplayOrder::kLogOrder, outage, &stats, &hook);
+  ASSERT_EQ(hook.requeue_widths.size(), 1u);
+  EXPECT_EQ(hook.requeue_widths.front(), 2u);
+  EXPECT_EQ(stats.delivered_payload_bytes, 2000.0);
+}
+
 }  // namespace
 }  // namespace cts::simscen

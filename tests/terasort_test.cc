@@ -176,6 +176,7 @@ INSTANTIATE_TEST_SUITE_P(
         case KeyDistribution::kReverseSorted: return "ReverseSorted";
         case KeyDistribution::kSkewed: return "Skewed";
         case KeyDistribution::kFewDistinct: return "FewDistinct";
+        case KeyDistribution::kBalanced: return "Balanced";
       }
       return "Unknown";
     });
