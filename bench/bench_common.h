@@ -30,13 +30,17 @@
 #include "analytics/report.h"
 #include "common/table.h"
 #include "driver/run_result.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 
 namespace cts::bench {
 
 // Machine-readable bench output: every bench binary accepts
 //   --json            write BENCH_<name>.json in the working directory
 //   --json=<path>     write to an explicit path
+//   --ledger[=path]   append one run-ledger entry (obs/ledger.h) to
+//                     LEDGER_<name>.jsonl or the given file
 // and dumps a flat metric -> value object, so CI can record the perf
 // trajectory run over run. Keys are stable identifiers
 // ("terasort/total_s"); values are doubles.
@@ -54,10 +58,19 @@ class JsonReport {
           std::cerr << bench_name_ << ": --json= needs a path\n";
           std::exit(2);
         }
+      } else if (arg == "--ledger") {
+        ledger_path_ = "LEDGER_" + bench_name_ + ".jsonl";
+      } else if (arg.rfind("--ledger=", 0) == 0) {
+        ledger_path_ = arg.substr(9);
+        if (ledger_path_.empty()) {
+          std::cerr << bench_name_ << ": --ledger= needs a path\n";
+          std::exit(2);
+        }
       } else {
         std::cerr << bench_name_ << ": unknown flag " << arg
-                  << " (only --json[=path] is supported; scale knobs are "
-                     "CTS_* environment variables)\n";
+                  << " (only --json[=path] and --ledger[=path] are "
+                     "supported; scale knobs are CTS_* environment "
+                     "variables)\n";
         std::exit(2);
       }
     }
@@ -87,14 +100,53 @@ class JsonReport {
     add(prefix + "/total_s", b.total());
   }
 
-  // Writes the file (no-op when --json was not given). Returns true if
-  // a file was written. Alongside the flat bench metrics, the artifact
+  // Flight-recorder export: each series of `tl` contributes three
+  // flat keys under the artifact's nested "timeline" block —
+  // <prefix>/<key>/samples, .../final (the last sampled value) and
+  // .../digest (the series' FNV digest XOR-folded to 32 bits, exactly
+  // representable as a JSON number) — and, when a ledger is being
+  // written, its full 64-bit digest in the entry's timeline map.
+  void add_timeline(const std::string& prefix, const obs::Timeline& tl) {
+    for (const auto& [key, samples] : tl.series()) {
+      const std::string base = prefix.empty() ? key : prefix + "/" + key;
+      const std::uint64_t digest = tl.SeriesDigest(key);
+      timeline_[base + "/samples"] =
+          static_cast<double>(samples.size());
+      timeline_[base + "/final"] =
+          samples.empty() ? 0.0 : samples.back().value;
+      timeline_[base + "/digest"] = static_cast<double>(
+          (digest >> 32) ^ (digest & 0xffffffffULL));
+      ledger_timeline_[base] = obs::HexDigest(digest);
+    }
+  }
+
+  // Ledger identity: axes are the filterable spec coordinates of this
+  // invocation; the fingerprint defaults to the FNV hash of
+  // bench/run/axes and may be pinned explicitly (ctsort hashes the
+  // RunCache key instead, so equal cells fingerprint equal across
+  // tools).
+  void set_axis(const std::string& key, const std::string& value) {
+    axes_[key] = value;
+  }
+  void set_run(const std::string& run) { run_ = run; }
+  void set_fingerprint(const std::string& fp) { fingerprint_ = fp; }
+  bool ledger_enabled() const { return !ledger_path_.empty(); }
+  const std::string& ledger_path() const { return ledger_path_; }
+
+  // Writes the artifacts. Returns true if the JSON file was written
+  // (no-op without --json); the ledger entry appends independently
+  // behind --ledger. Alongside the flat bench metrics, the artifact
   // embeds the process-wide obs::MetricRegistry snapshot under one
-  // nested "metrics" object (omitted while the registry is empty), so
-  // every bench JSON doubles as an observability readout —
-  // CheckBenchJsonSchema validates the extension and
-  // tools/bench_trend.py flattens it into "metrics/<name>" keys.
+  // nested "metrics" object (omitted while the registry is empty) and
+  // the flight-recorder summary under a nested "timeline" object
+  // (omitted while no timeline was added), so every bench JSON
+  // doubles as an observability readout — CheckBenchJsonSchema
+  // validates both extensions and tools/bench_trend.py flattens them
+  // into "metrics/<name>" / "timeline/<name>" keys.
   bool write() const {
+    const std::map<std::string, double> snapshot =
+        obs::MetricRegistry::Global().Snapshot();
+    WriteLedger(snapshot);
     if (!enabled()) return false;
     std::ofstream out(path_);
     if (!out) {
@@ -111,23 +163,25 @@ class JsonReport {
         out << "null";
       }
     };
-    out << "{\n  \"bench\": \"" << bench_name_ << "\"";
-    for (const auto& [key, value] : metrics_) {
-      out << ",\n  \"" << key << "\": ";
-      number(value);
-    }
-    const std::map<std::string, double> snapshot =
-        obs::MetricRegistry::Global().Snapshot();
-    if (!snapshot.empty()) {
-      out << ",\n  \"metrics\": {";
+    const auto nested = [&](const char* name,
+                            const std::map<std::string, double>& block) {
+      if (block.empty()) return;
+      out << ",\n  \"" << name << "\": {";
       bool first = true;
-      for (const auto& [key, value] : snapshot) {
+      for (const auto& [key, value] : block) {
         out << (first ? "\n    \"" : ",\n    \"") << key << "\": ";
         number(value);
         first = false;
       }
       out << "\n  }";
+    };
+    out << "{\n  \"bench\": \"" << bench_name_ << "\"";
+    for (const auto& [key, value] : metrics_) {
+      out << ",\n  \"" << key << "\": ";
+      number(value);
     }
+    nested("metrics", snapshot);
+    nested("timeline", timeline_);
     out << "\n}\n";
     std::cout << "wrote " << path_ << " (" << metrics_.size()
               << " metrics, " << snapshot.size() << " registry entries)\n";
@@ -135,22 +189,57 @@ class JsonReport {
   }
 
  private:
+  void WriteLedger(const std::map<std::string, double>& snapshot) const {
+    if (ledger_path_.empty()) return;
+    obs::LedgerEntry entry;
+    entry.bench = bench_name_;
+    entry.run = run_.empty() ? bench_name_ : run_;
+    entry.code_version = obs::CodeVersion();
+    entry.axes = axes_;
+    entry.values = metrics_;
+    for (const auto& [key, value] : snapshot) {
+      entry.values["metrics/" + key] = value;
+    }
+    entry.timeline = ledger_timeline_;
+    if (!fingerprint_.empty()) {
+      entry.fingerprint = fingerprint_;
+    } else {
+      std::string identity = bench_name_ + "|" + entry.run;
+      for (const auto& [k, v] : axes_) identity += "|" + k + "=" + v;
+      entry.fingerprint = obs::HexDigest(obs::Fingerprint64(identity));
+    }
+    if (!obs::AppendEntry(ledger_path_, entry)) {
+      std::cerr << bench_name_ << ": cannot append to ledger "
+                << ledger_path_ << "\n";
+      std::exit(1);
+    }
+    std::cout << "appended ledger entry " << entry.fingerprint << " to "
+              << ledger_path_ << "\n";
+  }
+
   std::string bench_name_;
   std::string path_;
+  std::string ledger_path_;
+  std::string run_;
+  std::string fingerprint_;
+  std::map<std::string, std::string> axes_;
   std::map<std::string, double> metrics_;  // sorted, deterministic
+  std::map<std::string, double> timeline_;
+  std::map<std::string, std::string> ledger_timeline_;
 };
 
 // Validates the flat bench-JSON schema JsonReport emits, so the CI
 // artifacts stay machine-parseable (tools/bench_trend.py consumes
 // them): one object, a "bench" string naming the binary, and every
 // other key mapping to a finite number or null, with no duplicate
-// keys. The single allowed nesting is the "metrics" key — the
-// obs::MetricRegistry snapshot — whose value must itself be a flat
-// object of finite-or-null numbers. `required` lists top-level metric
-// keys that must be present. Returns an empty string on success, else
-// a description of the first violation. Deliberately a tiny
-// recursive-descent scanner, not a JSON library: it accepts exactly
-// the subset JsonReport writes.
+// keys. The allowed nestings are the "metrics" key — the
+// obs::MetricRegistry snapshot — and the "timeline" key — the
+// flight-recorder summary — whose values must themselves be flat
+// objects of finite-or-null numbers. `required` lists top-level
+// metric keys that must be present. Returns an empty string on
+// success, else a description of the first violation. Deliberately a
+// tiny recursive-descent scanner, not a JSON library: it accepts
+// exactly the subset JsonReport writes.
 inline std::string CheckBenchJsonSchema(
     const std::string& content,
     const std::vector<std::string>& required = {}) {
@@ -215,9 +304,9 @@ inline std::string CheckBenchJsonSchema(
       if (!parse_string()) return fail("unterminated string value");
       keys[key] = 's';
     } else if (pos < content.size() && content[pos] == '{') {
-      if (key != "metrics") {
+      if (key != "metrics" && key != "timeline") {
         return "nested object under \"" + key +
-               "\" — only \"metrics\" may nest";
+               "\" — only \"metrics\" and \"timeline\" may nest";
       }
       ++pos;
       std::map<std::string, char> nested;
@@ -230,20 +319,21 @@ inline std::string CheckBenchJsonSchema(
         }
         if (!nested_first) {
           if (pos >= content.size() || content[pos] != ',') {
-            return fail("expected ',' or '}' inside \"metrics\"");
+            return fail("expected ',' or '}' inside \"" + key + "\"");
           }
           ++pos;
           skip_ws();
         }
         nested_first = false;
-        if (!parse_string()) return fail("expected a quoted registry key");
+        if (!parse_string()) return fail("expected a quoted nested key");
         const std::string nested_key = str;
         if (nested.count(nested_key)) {
-          return "duplicate key \"metrics/" + nested_key + "\"";
+          return "duplicate key \"" + key + "/" + nested_key + "\"";
         }
         skip_ws();
         if (pos >= content.size() || content[pos] != ':') {
-          return fail("expected ':' after \"metrics/" + nested_key + "\"");
+          return fail("expected ':' after \"" + key + "/" + nested_key +
+                      "\"");
         }
         ++pos;
         skip_ws();
@@ -253,11 +343,12 @@ inline std::string CheckBenchJsonSchema(
           char* end = nullptr;
           const double v = std::strtod(content.c_str() + pos, &end);
           if (end == content.c_str() + pos) {
-            return fail("value of \"metrics/" + nested_key +
+            return fail("value of \"" + key + "/" + nested_key +
                         "\" is not a number");
           }
           if (!std::isfinite(v)) {
-            return "value of \"metrics/" + nested_key + "\" is not finite";
+            return "value of \"" + key + "/" + nested_key +
+                   "\" is not finite";
           }
           pos = static_cast<std::size_t>(end - content.c_str());
         }
@@ -288,8 +379,10 @@ inline std::string CheckBenchJsonSchema(
   if (bench->second != 's') return "\"bench\" must be a string";
   for (const auto& [key, type] : keys) {
     if (key == "bench") continue;
-    if (key == "metrics") {
-      if (type != 'm') return "\"metrics\" must be a nested object";
+    if (key == "metrics" || key == "timeline") {
+      if (type != 'm') {
+        return "\"" + key + "\" must be a nested object";
+      }
       continue;
     }
     if (type != 'n') {

@@ -112,8 +112,20 @@ std::shared_ptr<AlgorithmResult> RunCache::Execute(
     const SortConfig& config) {
   const AlgorithmInfo& info = FindOrDie(algorithm);
   ++executions_;
-  obs::MetricRegistry::Global().counter("job/cache_misses").add();
+  auto& registry = obs::MetricRegistry::Global();
+  registry.counter("job/cache_misses").add();
+  // Freeze this execution's registry deltas into the cached result.
+  // Some of them (stripe try_lock contention, arena hits) depend on
+  // thread interleaving, so the only reproducible view is the one
+  // capture made here: every later consumer of the cached run reads
+  // run_metrics, never the live registry.
+  const std::map<std::string, double> before = registry.Snapshot();
   auto run = std::make_shared<AlgorithmResult>(info.run(config));
+  for (const auto& [name, value] : registry.Snapshot()) {
+    const auto it = before.find(name);
+    const double delta = it == before.end() ? value : value - it->second;
+    if (delta != 0) run->run_metrics[name] = delta;
+  }
   runs_.emplace(key, run);
   return run;
 }
@@ -210,6 +222,7 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
         SimulateRun(*result.execution, CostModel{}, scale, spec.schedule);
     result.priced = true;
     result.makespan = result.breakdown.total();
+    result.timeline = obs::BuildLiveTimeline(*result.execution);
     FillDollars(spec, result);
     result.metrics_snapshot = obs::MetricRegistry::Global().Snapshot();
     return result;
@@ -217,6 +230,10 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
 
   result.execution = cache.Get(spec.algorithm, spec.config);
   result.algorithm = result.execution->algorithm;
+  // The live flight-recorder series, derived purely from the cached
+  // execution — a cache hit reproduces them bit for bit. Scenario
+  // replays below append their DES series to the same timeline.
+  result.timeline = obs::BuildLiveTimeline(*result.execution);
 
   switch (spec.backend) {
     case Backend::kLive:
@@ -238,7 +255,8 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
         const auto run = cache.GetScenarioRun(spec.algorithm, spec.config,
                                               /*paper_records=*/0,
                                               /*from_events=*/true);
-        result.outcome = simscen::ReplayScenario(*run, *spec.scenario);
+        result.outcome =
+            simscen::ReplayScenario(*run, *spec.scenario, &result.timeline);
         result.breakdown = result.outcome->breakdown();
         FillMitigationStats(*result.outcome, result);
       }
@@ -252,7 +270,8 @@ JobResult RunJob(const JobSpec& spec, RunCache& cache) {
           spec.scenario.has_value()
               ? *spec.scenario
               : simscen::Scenario::Baseline(spec.config.num_nodes);
-      result.outcome = simscen::ReplayScenario(*run, scenario);
+      result.outcome =
+          simscen::ReplayScenario(*run, scenario, &result.timeline);
       result.breakdown = result.outcome->breakdown();
       result.priced = info.priced;
       FillMitigationStats(*result.outcome, result);

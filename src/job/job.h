@@ -27,6 +27,7 @@
 #include "analytics/cost_model.h"
 #include "analytics/report.h"
 #include "driver/run_result.h"
+#include "obs/timeline.h"
 #include "simscen/engine.h"
 
 namespace cts::job {
@@ -119,6 +120,13 @@ struct JobResult {
   // result was produced. Cumulative across the process (a sweep's
   // N-th result includes the first N cells).
   std::map<std::string, double> metrics_snapshot;
+
+  // The flight-recorder series of this cell: the live series derived
+  // from the (cached) execution's deterministic counters, plus — when
+  // a scenario replay ran — the DES series sampled along scenario
+  // time. Bitwise reproducible: rerunning the same spec through the
+  // same cache yields an identical timeline (timeline_test pins it).
+  obs::Timeline timeline;
 
   // Flat "<prefix>/<metric>" map in the bench JSON schema: one key per
   // non-zero stage plus total_s, and the mitigation stats when a

@@ -1,0 +1,327 @@
+#include "obs/ledger.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace cts::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteStringMap(std::ostringstream& out,
+                    const std::map<std::string, std::string>& m) {
+  out << '{';
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(k) << "\":\"" << JsonEscape(v) << '"';
+  }
+  out << '}';
+}
+
+// Minimal scanner for the exact shape SerializeEntry writes: a
+// one-level object of string -> (string | object of string->string).
+// Arbitrary JSON string escapes are honored so round-trips survive
+// hostile axis values; anything structurally richer is rejected.
+class Scanner {
+ public:
+  explicit Scanner(const std::string& s) : s_(s) {}
+
+  bool Fail(const std::string& why, std::string* error) {
+    if (error != nullptr) {
+      *error = why + " at offset " + std::to_string(i_);
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (i_ < s_.size() &&
+           (s_[i_] == ' ' || s_[i_] == '\t' || s_[i_] == '\r')) {
+      ++i_;
+    }
+  }
+
+  bool Expect(char c, std::string* error) {
+    SkipWs();
+    if (i_ >= s_.size() || s_[i_] != c) {
+      return Fail(std::string("expected '") + c + "'", error);
+    }
+    ++i_;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return i_ < s_.size() && s_[i_] == c;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return i_ >= s_.size();
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    if (!Expect('"', error)) return false;
+    out->clear();
+    while (i_ < s_.size() && s_[i_] != '"') {
+      char c = s_[i_++];
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (i_ >= s_.size()) return Fail("dangling escape", error);
+      const char e = s_[i_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (i_ + 4 > s_.size()) return Fail("short \\u escape", error);
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s_[i_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("bad \\u escape", error);
+            }
+          }
+          // The writer only escapes control characters; keep the
+          // reader equally narrow (no surrogate pairs).
+          if (code > 0x7f) return Fail("non-ASCII \\u escape", error);
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return Fail("unknown escape", error);
+      }
+    }
+    if (i_ >= s_.size()) return Fail("unterminated string", error);
+    ++i_;  // closing quote
+    return true;
+  }
+
+  bool ParseStringMap(std::map<std::string, std::string>* out,
+                      std::string* error) {
+    if (!Expect('{', error)) return false;
+    out->clear();
+    if (Peek('}')) {
+      ++i_;
+      return true;
+    }
+    while (true) {
+      std::string key, value;
+      if (!ParseString(&key, error)) return false;
+      if (!Expect(':', error)) return false;
+      if (!ParseString(&value, error)) return false;
+      if (out->count(key) != 0) return Fail("duplicate key", error);
+      (*out)[key] = value;
+      if (Peek(',')) {
+        ++i_;
+        continue;
+      }
+      return Expect('}', error);
+    }
+  }
+
+ private:
+  const std::string& s_;
+  std::size_t i_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t Fingerprint64(const std::string& s) {
+  return FnvMix(kFnvOffset, s.data(), s.size());
+}
+
+std::string HexDigest(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string HexFloat(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+const char* CodeVersion() {
+#ifdef CTS_CODE_VERSION
+  return CTS_CODE_VERSION;
+#else
+  return "unknown";
+#endif
+}
+
+void DigestTimeline(const Timeline& tl, LedgerEntry& entry) {
+  for (const auto& [key, samples] : tl.series()) {
+    (void)samples;
+    entry.timeline[key] = HexDigest(tl.SeriesDigest(key));
+  }
+}
+
+std::string SerializeEntry(const LedgerEntry& entry) {
+  std::ostringstream out;
+  out << "{\"bench\":\"" << JsonEscape(entry.bench) << "\",\"run\":\""
+      << JsonEscape(entry.run) << "\",\"fingerprint\":\""
+      << JsonEscape(entry.fingerprint) << "\",\"code_version\":\""
+      << JsonEscape(entry.code_version) << "\",\"axes\":";
+  WriteStringMap(out, entry.axes);
+  out << ",\"values\":{";
+  bool first = true;
+  for (const auto& [k, v] : entry.values) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << JsonEscape(k) << "\":\"" << HexFloat(v) << '"';
+  }
+  out << "},\"timeline\":";
+  WriteStringMap(out, entry.timeline);
+  out << '}';
+  return out.str();
+}
+
+bool ParseEntry(const std::string& line, LedgerEntry* out,
+                std::string* error) {
+  *out = LedgerEntry{};
+  Scanner sc(line);
+  if (!sc.Expect('{', error)) return false;
+  if (sc.Peek('}')) {
+    return sc.Fail("empty ledger entry", error);
+  }
+  while (true) {
+    std::string key;
+    if (!sc.ParseString(&key, error)) return false;
+    if (!sc.Expect(':', error)) return false;
+    if (key == "bench") {
+      if (!sc.ParseString(&out->bench, error)) return false;
+    } else if (key == "run") {
+      if (!sc.ParseString(&out->run, error)) return false;
+    } else if (key == "fingerprint") {
+      if (!sc.ParseString(&out->fingerprint, error)) return false;
+    } else if (key == "code_version") {
+      if (!sc.ParseString(&out->code_version, error)) return false;
+    } else if (key == "axes") {
+      if (!sc.ParseStringMap(&out->axes, error)) return false;
+    } else if (key == "timeline") {
+      if (!sc.ParseStringMap(&out->timeline, error)) return false;
+    } else if (key == "values") {
+      std::map<std::string, std::string> raw;
+      if (!sc.ParseStringMap(&raw, error)) return false;
+      for (const auto& [k, v] : raw) {
+        char* end = nullptr;
+        const double d = std::strtod(v.c_str(), &end);
+        if (end == v.c_str() || *end != '\0') {
+          return sc.Fail("unparsable value for '" + k + "'", error);
+        }
+        out->values[k] = d;
+      }
+    } else {
+      return sc.Fail("unknown ledger key '" + key + "'", error);
+    }
+    if (sc.Peek(',')) {
+      if (!sc.Expect(',', error)) return false;
+      continue;
+    }
+    break;
+  }
+  if (!sc.Expect('}', error)) return false;
+  if (!sc.AtEnd()) return sc.Fail("trailing content", error);
+  return true;
+}
+
+bool AppendEntry(const std::string& path, const LedgerEntry& entry) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return false;
+  out << SerializeEntry(entry) << '\n';
+  return static_cast<bool>(out);
+}
+
+std::vector<LedgerEntry> ReadLedger(const std::string& path,
+                                    std::string* error) {
+  std::vector<LedgerEntry> entries;
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open ledger '" + path + "'";
+    return entries;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    LedgerEntry e;
+    std::string perr;
+    if (!ParseEntry(line, &e, &perr)) {
+      if (error != nullptr) {
+        *error = path + ":" + std::to_string(lineno) + ": " + perr;
+      }
+      return entries;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace cts::obs

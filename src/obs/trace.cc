@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <limits>
 #include <ostream>
+#include <tuple>
 #include <utility>
 
 #include "common/check.h"
@@ -133,6 +134,19 @@ void Trace::add_flow(int pid, int src_tid, int dst_tid, double start_seconds,
   f.tid = dst_tid;
   f.ts_seconds = end_seconds;
   events_.push_back(std::move(f));
+}
+
+void Trace::add_counter(int pid, int tid, const std::string& name,
+                        double ts_seconds, double value) {
+  TraceEvent e;
+  e.phase = 'C';
+  e.name = name;
+  e.category = cat::kCounter;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_seconds = ts_seconds;
+  e.args = {{"value", value}};
+  events_.push_back(std::move(e));
 }
 
 void Trace::Merge(const Trace& other) {
@@ -287,6 +301,34 @@ std::string ValidateTrace(const Trace& trace) {
     }
     if (p.s_ts > p.f_ts + eps) {
       return "flow id " + std::to_string(id) + " finishes before it starts";
+    }
+  }
+
+  // Counter tracks: series named per the timeline key grammar, finite
+  // numeric args, nondecreasing ts per (pid, tid, name) series — the
+  // same rules tools/trace_check.py enforces on exported files.
+  std::map<std::tuple<int, int, std::string>, double> counter_last_ts;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase != 'C') continue;
+    if (!ValidTimelineKey(e.name)) {
+      return "counter series '" + e.name +
+             "' violates <subsystem>/<name>[/unit]";
+    }
+    if (e.args.empty()) {
+      return "counter sample of '" + e.name + "' carries no args";
+    }
+    for (const auto& [k, v] : e.args) {
+      if (!std::isfinite(v)) {
+        return "non-finite counter value in series '" + e.name + "'";
+      }
+    }
+    auto [it, fresh] = counter_last_ts.try_emplace(
+        std::tuple(e.pid, e.tid, e.name), e.ts_seconds);
+    if (!fresh) {
+      if (e.ts_seconds < it->second - eps) {
+        return "counter series '" + e.name + "' time went backwards";
+      }
+      it->second = std::max(it->second, e.ts_seconds);
     }
   }
   return "";
@@ -475,6 +517,17 @@ Trace BuildScenarioTrace(const simscen::ScenarioRun& run,
                       strag.fail_at + strag.recovery);
   }
   return trace;
+}
+
+void AppendTimelineCounters(const Timeline& timeline, Trace& trace,
+                            int pid, int tid) {
+  if (timeline.empty()) return;
+  trace.set_track_name(pid, tid, "counters");
+  for (const auto& [key, samples] : timeline.series()) {
+    for (const TimelineSample& s : samples) {
+      trace.add_counter(pid, tid, key, s.t, s.value);
+    }
+  }
 }
 
 }  // namespace cts::obs

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "driver/run_result.h"
+#include "obs/timeline.h"
 #include "simscen/engine.h"
 
 namespace cts::obs {
@@ -42,12 +43,14 @@ inline constexpr const char* kStage = "stage";      // compute spans
 inline constexpr const char* kShuffle = "shuffle";  // transmission slices
 inline constexpr const char* kFlow = "flow";        // src -> dst arrows
 inline constexpr const char* kMark = "mark";        // outages, triggers
+inline constexpr const char* kCounter = "counter";  // timeline series
 }  // namespace cat
 
 // One trace_event entry. Times are kept in seconds until WriteJson,
 // which emits the microseconds the format requires.
 struct TraceEvent {
-  char phase = 'X';  // 'X' complete, 'i' instant, 's'/'f' flow pair
+  char phase = 'X';  // 'X' complete, 'i' instant, 's'/'f' flow pair,
+                     // 'C' counter sample
   std::string name;
   std::string category;
   int pid = 0;
@@ -79,6 +82,11 @@ class Trace {
   // fresh id.
   void add_flow(int pid, int src_tid, int dst_tid, double start_seconds,
                 double end_seconds);
+  // One counter sample ("ph":"C"): Perfetto renders the samples of a
+  // (pid, name) pair as a stepped area series. The value rides in
+  // args under "value".
+  void add_counter(int pid, int tid, const std::string& name,
+                   double ts_seconds, double value);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const std::map<int, std::string>& process_names() const {
@@ -132,5 +140,13 @@ Trace BuildScenarioTrace(const simscen::ScenarioRun& run,
                          const simscen::ScenarioOutcome& outcome,
                          const simscen::Scenario& scenario, int pid = 0,
                          const std::string& process_name = "");
+
+// Exports every timeline series as counter events on one dedicated
+// track of `pid` (named "counters"), one trace_event per sample, in
+// key order then sample order — so identical timelines serialize to
+// identical counter tracks. tid should sit past the node tracks
+// (builders use K for "cluster"; K + 1 is the convention here).
+void AppendTimelineCounters(const Timeline& timeline, Trace& trace,
+                            int pid, int tid);
 
 }  // namespace cts::obs

@@ -138,7 +138,8 @@ ScenarioRun BuildScenarioRunFromEvents(
 }
 
 ScenarioOutcome ReplayScenario(const ScenarioRun& run,
-                               const Scenario& scenario) {
+                               const Scenario& scenario,
+                               obs::Timeline* timeline) {
   CTS_CHECK_GE(run.num_nodes, 1);
   CTS_CHECK_EQ(scenario.topology.num_nodes, run.num_nodes);
   CTS_CHECK_GT(run.shuffle_correction, 0.0);
@@ -180,9 +181,16 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
                      run.shuffle_correction;
       }
       NetReplayStats net_stats;
+      // The probe maps replay-clock samples onto the scenario
+      // timeline: the stage starts at `now` and one replay second is
+      // shuffle_correction scenario seconds.
+      TimelineProbe probe;
+      probe.timeline = timeline;
+      probe.t0 = now;
+      probe.scale = run.shuffle_correction;
       const double net = NetMakespan(run.shuffle_log, scenario.topology,
                                      scenario.discipline, scenario.order,
-                                     outage, &net_stats) *
+                                     outage, &net_stats, nullptr, probe) *
                          run.shuffle_correction;
       // Per-flow wire times in scenario seconds, for the tracer. Only
       // the first network stage fills them (runs have one Shuffle).
@@ -301,8 +309,10 @@ ScenarioOutcome ReplayScenario(const ScenarioRun& run,
 
 ScenarioOutcome ReplayScenario(const AlgorithmResult& result,
                                const CostModel& model, const RunScale& scale,
-                               const Scenario& scenario) {
-  return ReplayScenario(BuildScenarioRun(result, model, scale), scenario);
+                               const Scenario& scenario,
+                               obs::Timeline* timeline) {
+  return ReplayScenario(BuildScenarioRun(result, model, scale), scenario,
+                        timeline);
 }
 
 }  // namespace cts::simscen

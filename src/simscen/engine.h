@@ -147,13 +147,19 @@ ScenarioRun BuildScenarioRunFromEvents(
     const std::vector<std::string>& stage_order, const ComputeLog& events,
     simnet::TransmissionLog shuffle_log, int redundancy = 1);
 
-// Replays `run` under `scenario`.
+// Replays `run` under `scenario`. When `timeline` is non-null the
+// network stages run with a TimelineProbe attached: the DES series
+// (des/inflight_flows, des/requeue_depth, des/link_utilization) land
+// in the timeline in scenario seconds, aligned with the outcome's
+// stage spans. The replay itself is unchanged — the probe only reads.
 ScenarioOutcome ReplayScenario(const ScenarioRun& run,
-                               const Scenario& scenario);
+                               const Scenario& scenario,
+                               obs::Timeline* timeline = nullptr);
 
 // Convenience: build + replay a sorting run at paper scale.
 ScenarioOutcome ReplayScenario(const AlgorithmResult& result,
                                const CostModel& model, const RunScale& scale,
-                               const Scenario& scenario);
+                               const Scenario& scenario,
+                               obs::Timeline* timeline = nullptr);
 
 }  // namespace cts::simscen

@@ -188,7 +188,7 @@ class FlowSim {
     }
   }
 
-  double Run(NetReplayStats* stats) {
+  double Run(NetReplayStats* stats, const TimelineProbe& probe) {
     if (stats != nullptr) {
       stats->flow_end.assign(flows_.size(), 0.0);
       stats->flow_start.assign(flows_.size(), 0.0);
@@ -196,9 +196,57 @@ class FlowSim {
     double now = 0;
     double makespan = 0;
     std::size_t remaining = flows_.size();
+
+    // Flight-recorder ticks: fixed steps of the replay clock, derived
+    // from the log itself (serialized duration / 256 by default) — a
+    // pure function of the inputs, so two replays tick identically.
+    double dt = 0;
+    double next_tick = 0;
+    if (probe.timeline != nullptr) {
+      double span_bytes = 0;
+      for (const Flow& f : flows_) span_bytes += f.stream_total;
+      dt = probe.interval > 0
+               ? probe.interval
+               : span_bytes / topo_.access_bytes_per_sec / 256.0;
+    }
+    const bool sampling = probe.timeline != nullptr && dt > 0;
+    const auto sample_at = [&](double t) {
+      double inflight = 0;
+      double requeue_depth = 0;
+      std::vector<char> busy(resources_.size(), 0);
+      for (const Flow& f : flows_) {
+        if (f.done) continue;
+        if (f.admitted) {
+          inflight += 1;
+          busy[static_cast<std::size_t>(f.up_res)] = 1;
+          if (!f.receivers_released) {
+            for (const int r : f.down_res) {
+              busy[static_cast<std::size_t>(r)] = 1;
+            }
+          }
+        } else if (f.first_admit >= 0) {
+          // Admitted once, knocked back by the outage, not yet back on
+          // the wire: the re-queue backlog.
+          requeue_depth += 1;
+        }
+      }
+      double busy_links = 0;
+      for (const char b : busy) busy_links += b;
+      const double ts = probe.t0 + probe.scale * t;
+      probe.timeline->Sample("des/inflight_flows", ts, inflight);
+      probe.timeline->Sample("des/requeue_depth", ts, requeue_depth);
+      probe.timeline->Sample(
+          "des/link_utilization", ts,
+          busy_links / static_cast<double>(resources_.size()));
+    };
+
     ProcessOutage(now);
     Admit(now);
     Reallocate(now);
+    if (sampling) {
+      sample_at(0.0);
+      next_tick = dt;
+    }
     while (remaining > 0) {
       // Earliest next threshold crossing among active flows, plus the
       // outage window edges (a blocked system only moves again when
@@ -219,6 +267,15 @@ class FlowSim {
         }
       }
       CTS_CHECK_LT(t_next, kInf);
+      // Rates are piecewise-constant between events, so the state at
+      // every tick in (now, t_next] is the state right now — emit the
+      // due ticks before the batch mutates it.
+      if (sampling) {
+        while (next_tick <= t_next) {
+          sample_at(next_tick);
+          next_tick += dt;
+        }
+      }
       now = std::max(now, t_next);
 
       // Collect every flow whose candidate equals the event time (ties
@@ -264,6 +321,7 @@ class FlowSim {
       Admit(now);
       Reallocate(now);
     }
+    if (sampling) sample_at(makespan);  // the drained end state
     if (stats != nullptr) {
       stats->flows_started = admissions_;
       stats->flows_requeued = requeued_;
@@ -578,11 +636,38 @@ class FlowSim {
 
 double SerialNetMakespan(const simnet::TransmissionLog& log,
                          const Topology& topo, const LinkOutage& outage,
-                         NetReplayStats* stats) {
+                         NetReplayStats* stats,
+                         const TimelineProbe& probe) {
   if (stats != nullptr) {
     stats->flow_end.assign(log.size(), 0.0);
     stats->flow_start.assign(log.size(), 0.0);
   }
+
+  // Same tick derivation as the parallel path: serialized duration of
+  // the whole log over 256 steps. On the shared medium at most one
+  // transmission is in flight, so the series read 0/1 in-flight, the
+  // restart backlog, and the fraction of node links the current
+  // transmission occupies.
+  double dt = 0;
+  double next_tick = 0;
+  if (probe.timeline != nullptr) {
+    double span_bytes = 0;
+    for (const auto& t : log) {
+      span_bytes += static_cast<double>(t.bytes) * topo.multicast_penalty(t);
+    }
+    dt = probe.interval > 0
+             ? probe.interval
+             : span_bytes / topo.access_bytes_per_sec / 256.0;
+  }
+  const bool sampling = probe.timeline != nullptr && dt > 0;
+  const auto sample = [&](double t, double inflight, double requeue_depth,
+                          double utilization) {
+    const double ts = probe.t0 + probe.scale * t;
+    probe.timeline->Sample("des/inflight_flows", ts, inflight);
+    probe.timeline->Sample("des/requeue_depth", ts, requeue_depth);
+    probe.timeline->Sample("des/link_utilization", ts, utilization);
+  };
+
   double now = 0;
   for (std::size_t i = 0; i < log.size(); ++i) {
     const auto& t = log[i];
@@ -624,6 +709,24 @@ double SerialNetMakespan(const simnet::TransmissionLog& log,
       start = outage.end;
       end = outage.end + dur;
     }
+    if (sampling) {
+      // Ticks inside the restart wait see an idle medium with the
+      // victim queued; ticks inside [start, end] see it transmitting.
+      while (next_tick < start) {
+        sample(next_tick, 0, 1, 0);
+        next_tick += dt;
+      }
+      std::vector<NodeId> dsts(t.dsts);
+      std::sort(dsts.begin(), dsts.end());
+      dsts.erase(std::unique(dsts.begin(), dsts.end()), dsts.end());
+      const double links = 1.0 + static_cast<double>(dsts.size());
+      const double utilization =
+          std::min(1.0, links / static_cast<double>(topo.num_nodes));
+      while (next_tick <= end) {
+        sample(next_tick, 1, 0, utilization);
+        next_tick += dt;
+      }
+    }
     if (stats != nullptr) {
       stats->flow_end[i] = end;
       stats->flow_start[i] = start;
@@ -633,6 +736,7 @@ double SerialNetMakespan(const simnet::TransmissionLog& log,
     }
     now = end;
   }
+  if (sampling) sample(now, 0, 0, 0);  // the drained end state
   return now;
 }
 
@@ -664,7 +768,8 @@ void PublishReplayMetrics(const NetReplayStats& stats) {
 double NetMakespan(const simnet::TransmissionLog& log,
                    const Topology& topology, simnet::Discipline discipline,
                    simnet::ReplayOrder order, const LinkOutage& outage,
-                   NetReplayStats* stats, OrderingHook* hook) {
+                   NetReplayStats* stats, OrderingHook* hook,
+                   const TimelineProbe& probe) {
   CTS_CHECK_GE(topology.num_nodes, 1);
   NetReplayStats local;
   if (stats == nullptr) stats = &local;
@@ -675,12 +780,13 @@ double NetMakespan(const simnet::TransmissionLog& log,
     case simnet::Discipline::kSerial:
       // One transmission at a time in program order: no simultaneous
       // events, nothing for a hook to reorder.
-      makespan = SerialNetMakespan(log, topology, outage, stats);
+      makespan = SerialNetMakespan(log, topology, outage, stats, probe);
       break;
     case simnet::Discipline::kParallelHalfDuplex:
     case simnet::Discipline::kParallelFullDuplex: {
       const bool fd = discipline == simnet::Discipline::kParallelFullDuplex;
-      makespan = FlowSim(log, topology, fd, order, outage, hook).Run(stats);
+      makespan =
+          FlowSim(log, topology, fd, order, outage, hook).Run(stats, probe);
       break;
     }
   }

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/timeline.h"
 #include "simnet/schedule.h"
 #include "simnet/transmission_log.h"
 #include "simscen/scenario.h"
@@ -99,6 +100,23 @@ struct NetReplayStats {
   std::uint64_t maxmin_recomputations = 0;
 };
 
+// Flight-recorder hookup for NetMakespan: when `timeline` is set the
+// replay samples three series at fixed sim-time tick intervals —
+//   des/inflight_flows     flows admitted and not yet drained
+//   des/requeue_depth      outage victims waiting for re-admission
+//   des/link_utilization   busy access links / all access links
+// Ticks live on the replay's own virtual clock (never wall-clock);
+// each sample lands in the timeline at t0 + scale * t_log, so the
+// scenario engine can place a network stage's series in scenario
+// seconds (scale = shuffle_correction). interval <= 0 picks the
+// default: the log's serialized duration / 256.
+struct TimelineProbe {
+  obs::Timeline* timeline = nullptr;
+  double t0 = 0;        // scenario time of replay-clock zero
+  double scale = 1.0;   // replay seconds -> timeline seconds
+  double interval = 0;  // tick spacing in replay seconds (0 = auto)
+};
+
 // Makespan of `log` replayed on `topology` under a network discipline
 // and initiation order. Discipline::kSerial prices the paper's shared
 // medium: one transmission at a time, each at the minimum rate along
@@ -113,6 +131,7 @@ double NetMakespan(const simnet::TransmissionLog& log,
                    simnet::ReplayOrder order = simnet::ReplayOrder::kLogOrder,
                    const LinkOutage& outage = {},
                    NetReplayStats* stats = nullptr,
-                   OrderingHook* hook = nullptr);
+                   OrderingHook* hook = nullptr,
+                   const TimelineProbe& probe = {});
 
 }  // namespace cts::simscen

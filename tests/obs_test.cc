@@ -4,6 +4,7 @@
 // shuffle byte conservation against TrafficStats for both the live and
 // the DES builders, and the baseline DES replay degenerating to the
 // live trace's span set.
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <set>
@@ -114,6 +115,73 @@ TEST(MetricRegistry, ConcurrentCountersAreExact) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(reg.counter("t/contended").value(),
             static_cast<std::uint64_t>(kThreads) * kAdds);
+}
+
+// The flight recorder and the run ledger both snapshot registries into
+// results, so Snapshot() must be a pure function of the operations
+// applied: identical maps regardless of the order names were
+// registered in (the stripes are hash-sharded maps) and regardless of
+// thread interleaving. The workload is chosen to commute exactly —
+// counter adds are integers, histogram samples are powers of two (so
+// double sums are exact in any order), and each thread owns its gauge.
+TEST(MetricRegistry, SnapshotIsDeterministicAcrossOrdersAndThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kOps = 3600;  // multiple of the 12 counter names
+
+  std::vector<std::string> names;
+  for (int i = 0; i < 12; ++i) {
+    names.push_back("det/counter_" + std::to_string(i));
+  }
+
+  const auto run_workload = [&](MetricRegistry& reg,
+                                const std::vector<std::string>& order) {
+    for (const std::string& name : order) reg.counter(name);
+    reg.histogram("det/hist");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&reg, &names, t] {
+        Gauge& own = reg.gauge("det/gauge_" + std::to_string(t));
+        Histogram& h = reg.histogram("det/hist");
+        for (int i = 0; i < kOps; ++i) {
+          reg.counter(names[(t + i) % names.size()]).add(1 + t);
+          h.record(static_cast<double>(1 << (i % 8)));
+          own.set(static_cast<double>(t) + 0.5);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    return reg.Snapshot();
+  };
+
+  // Two deterministic shuffles of the registration order.
+  std::vector<std::string> shuffled(names.rbegin(), names.rend());
+  std::rotate(shuffled.begin(), shuffled.begin() + 5, shuffled.end());
+
+  MetricRegistry a, b, c;
+  const auto snap_a = run_workload(a, names);
+  const auto snap_b = run_workload(b, shuffled);
+  const auto snap_c = run_workload(c, names);  // fresh interleaving
+  EXPECT_EQ(snap_a, snap_b);
+  EXPECT_EQ(snap_a, snap_c);
+
+  // And the values are the exact closed-form totals, not merely
+  // mutually consistent: each name gets kOps/12 adds of (1+t) from
+  // each thread; each thread records kOps/8 samples of each power
+  // 1..128.
+  const double adds_per_name_per_thread = kOps / 12.0;
+  double expected_counter = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_counter += adds_per_name_per_thread * (1 + t);
+  }
+  for (const std::string& name : names) {
+    EXPECT_EQ(snap_a.at(name), expected_counter) << name;
+  }
+  EXPECT_EQ(snap_a.at("det/hist/count"), 1.0 * kThreads * kOps);
+  EXPECT_EQ(snap_a.at("det/hist/sum"), kThreads * (kOps / 8.0) * 255);
+  EXPECT_EQ(snap_a.at("det/hist/max"), 128.0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap_a.at("det/gauge_" + std::to_string(t)), t + 0.5);
+  }
 }
 
 TEST(Trace, ValidateCatchesOverlapsAndBadFlows) {

@@ -9,8 +9,17 @@ failure.
 
 Usage:
   bench_trend.py OLD.json NEW.json [--threshold 0.15] [--suffix total_s]
+  bench_trend.py --baseline-ledger LEDGER.jsonl NEW.json [...]
   bench_trend.py --check FILE [FILE ...]
   bench_trend.py --self-test
+
+--baseline-ledger takes the baseline from a run ledger (the JSONL
+files ctsort/benches append behind --ledger; see src/obs/ledger.h)
+instead of a previous BENCH_*.json: the latest ledger entry per run
+label, restricted to entries whose "bench" matches the NEW artifact,
+merged into one flat baseline. Ledger values are exact hex floats
+(float.fromhex), so the baseline carries the producer's doubles bit
+for bit.
 
 --check validates that each FILE is a well-formed bench artifact (the
 schema load_metrics enforces: a flat object with a "bench" string and
@@ -68,26 +77,28 @@ def flatten_gbench(data, path):
 
 
 def flatten_bench(data, path):
-    """Flat bench JSON -> metrics dict. The one nesting exception is
-    the "metrics" key: JsonReport embeds the obs::MetricRegistry
-    snapshot there as a flat numeric object, flattened here into
-    "metrics/<name>" keys so observability counters show up in diffs
-    (informational only — registry names never end in a gating suffix).
+    """Flat bench JSON -> metrics dict. The two nesting exceptions are
+    the "metrics" key (JsonReport embeds the obs::MetricRegistry
+    snapshot there) and the "timeline" key (per-series sample counts,
+    final values, and digests from the flight recorder); both are flat
+    numeric objects, flattened here into "metrics/<name>" and
+    "timeline/<name>" keys so observability counters show up in diffs
+    (informational only — neither namespace ends in a gating suffix).
     """
     metrics = {}
     for key, value in data.items():
         if key == "bench":
             continue
-        if key == "metrics" and isinstance(value, dict):
+        if key in ("metrics", "timeline") and isinstance(value, dict):
             for mkey, mvalue in value.items():
                 if mvalue is None:
                     continue  # non-finite registry value, serialized null
                 if not isinstance(mvalue, (int, float)) \
                         or isinstance(mvalue, bool):
-                    print(f"bench_trend: {path}: registry metric "
+                    print(f"bench_trend: {path}: {key} entry "
                           f"{mkey!r} is not numeric", file=sys.stderr)
                     sys.exit(2)
-                metrics[f"metrics/{mkey}"] = float(mvalue)
+                metrics[f"{key}/{mkey}"] = float(mvalue)
             continue
         if value is None:
             continue  # non-finite metric, serialized as null
@@ -114,6 +125,79 @@ def load_metrics(path):
               "--benchmark_out JSON)", file=sys.stderr)
         sys.exit(2)
     return data["bench"], flatten_bench(data, path)
+
+
+def ledger_value(raw, path, key):
+    """One ledger value -> float. The ledger serializes doubles as
+    exact hex-float strings (C's %a); float.fromhex reverses that bit
+    for bit and also accepts the inf/nan spellings. Plain numbers are
+    tolerated for hand-written fixtures."""
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        return float(raw)
+    if isinstance(raw, str):
+        try:
+            return float.fromhex(raw)
+        except ValueError:
+            try:
+                return float(raw)
+            except ValueError:
+                pass
+    print(f"bench_trend: {path}: ledger value {key!r} = {raw!r} is not "
+          "a number or hex-float string", file=sys.stderr)
+    sys.exit(2)
+
+
+def ledger_baseline(entries, bench_name, path):
+    """Parsed ledger entries -> flat baseline metrics for one bench:
+    the latest entry (file order) per run label among entries whose
+    "bench" matches, merged. Non-finite values are dropped the way
+    load_metrics drops nulls, so they never poison a comparison."""
+    latest = {}
+    for entry in entries:
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("bench") == bench_name:
+            latest[str(entry.get("run", ""))] = entry
+    if not latest:
+        print(f"bench_trend: {path}: no ledger entry for bench "
+              f"{bench_name!r}", file=sys.stderr)
+        sys.exit(2)
+    metrics = {}
+    for run in sorted(latest):
+        values = latest[run].get("values")
+        if not isinstance(values, dict):
+            continue
+        for key, raw in values.items():
+            value = ledger_value(raw, path, key)
+            if math.isfinite(value):
+                metrics[key] = value
+    return metrics
+
+
+def load_ledger(path):
+    """Ledger JSONL -> list of entry dicts (blank lines skipped)."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"bench_trend: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = []
+    for lineno, line in enumerate(lines, 1):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"bench_trend: {path}:{lineno}: not JSON: {e}",
+                  file=sys.stderr)
+            sys.exit(2)
+        if not isinstance(entry, dict):
+            print(f"bench_trend: {path}:{lineno}: ledger line is not an "
+                  "object", file=sys.stderr)
+            sys.exit(2)
+        entries.append(entry)
+    return entries
 
 
 def compare(old, new, threshold, suffix):
@@ -158,6 +242,27 @@ def run_check(old_path, new_path, threshold, suffix):
         sys.exit(2)
     regressions, lines = compare(old, new, threshold, suffix)
     print(f"bench_trend: {old_name}: {len(lines)} metrics compared "
+          f"(threshold {threshold:.0%} on *{suffix})")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"bench_trend: {len(regressions)} makespan regression(s) "
+              f"beyond {threshold:.0%}:", file=sys.stderr)
+        for key, o, n, delta in regressions:
+            print(f"  {key}: {o:.6g} -> {n:.6g} ({delta:+.1%})",
+                  file=sys.stderr)
+        return 1
+    print("bench_trend: OK")
+    return 0
+
+
+def run_ledger_check(ledger_path, new_path, threshold, suffix):
+    """Like run_check, but the baseline is assembled from a ledger."""
+    new_name, new = load_metrics(new_path)
+    old = ledger_baseline(load_ledger(ledger_path), new_name, ledger_path)
+    regressions, lines = compare(old, new, threshold, suffix)
+    print(f"bench_trend: {new_name} vs ledger {ledger_path}: "
+          f"{len(lines)} metrics compared "
           f"(threshold {threshold:.0%} on *{suffix})")
     for line in lines:
         print(line)
@@ -278,20 +383,51 @@ def self_test():
     assert math.isclose(metrics["BM_Pack/cpu_time_s"], 200e-9), metrics
     assert math.isclose(metrics["BM_Sort/cpu_time_s"], 1.5e-3), metrics
 
-    # The nested "metrics" registry snapshot flattens to metrics/<name>
-    # keys; null registry entries are dropped like flat nulls.
+    # The nested "metrics" registry snapshot and "timeline" block both
+    # flatten to namespaced keys; null entries are dropped like flat
+    # nulls.
     flat = flatten_bench({
         "bench": "demo",
         "terasort/total_s": 1.5,
         "metrics": {"simmpi/Shuffle/unicast_bytes": 4096.0,
                     "job/cache_hits": 16, "bad": None},
+        "timeline": {"terasort/des/inflight_flows/samples": 12,
+                     "terasort/des/inflight_flows/final": 0.0,
+                     "terasort/des/inflight_flows/digest": 3133078222},
     }, "<self-test>")
     assert flat == {"terasort/total_s": 1.5,
                     "metrics/simmpi/Shuffle/unicast_bytes": 4096.0,
-                    "metrics/job/cache_hits": 16.0}, flat
-    # Registry keys never gate (no key ends in a gating suffix).
+                    "metrics/job/cache_hits": 16.0,
+                    "timeline/terasort/des/inflight_flows/samples": 12.0,
+                    "timeline/terasort/des/inflight_flows/final": 0.0,
+                    "timeline/terasort/des/inflight_flows/digest":
+                        3133078222.0}, flat
+    # Registry and timeline keys never gate (no gating suffix).
     assert not any(k.endswith(s) for s in GATING_SUFFIXES
-                   for k in flat if k.startswith("metrics/")), flat
+                   for k in flat
+                   if k.startswith(("metrics/", "timeline/"))), flat
+
+    # Ledger baseline: latest entry per run wins, other benches are
+    # filtered out, and hex-float strings decode bit for bit.
+    third = 1.0 / 3.0
+    entries = [
+        {"bench": "ctsort", "run": "terasort",
+         "values": {"terasort/total_s": (100.0).hex()}},
+        {"bench": "other", "run": "terasort",
+         "values": {"terasort/total_s": (1.0).hex()}},
+        {"bench": "ctsort", "run": "terasort",
+         "values": {"terasort/total_s": third.hex(),
+                    "terasort/skipme": float("inf").hex()}},
+        {"bench": "ctsort", "run": "coded",
+         "values": {"coded/total_s": 0.25}},
+    ]
+    base = ledger_baseline(entries, "ctsort", "<self-test>")
+    assert base == {"terasort/total_s": third,
+                    "coded/total_s": 0.25}, base
+    assert base["terasort/total_s"].hex() == third.hex(), base
+    regs, _ = compare(base, {"terasort/total_s": third * 1.5,
+                             "coded/total_s": 0.25}, 0.15, "total_s")
+    assert [r[0] for r in regs] == ["terasort/total_s"], regs
 
     print("bench_trend: self-test OK")
     return 0
@@ -312,12 +448,24 @@ def main():
     parser.add_argument("--check", nargs="+", metavar="FILE",
                         help="validate the schema of each FILE and exit "
                              "(no comparison)")
+    parser.add_argument("--baseline-ledger", metavar="LEDGER",
+                        help="take the baseline from a run-ledger JSONL "
+                             "instead of an OLD artifact (pass only NEW)")
     args = parser.parse_args()
 
     if args.self_test:
         sys.exit(self_test())
     if args.check:
         sys.exit(run_schema_check(args.check))
+    if args.baseline_ledger:
+        if args.new is not None:
+            parser.error("--baseline-ledger replaces OLD; pass only the "
+                         "NEW artifact")
+        if args.old is None:
+            parser.error("a NEW artifact is required with "
+                         "--baseline-ledger")
+        sys.exit(run_ledger_check(args.baseline_ledger, args.old,
+                                  args.threshold, args.suffix))
     if args.old is None or args.new is None:
         parser.error("OLD and NEW artifacts are required")
     sys.exit(run_check(args.old, args.new, args.threshold, args.suffix))

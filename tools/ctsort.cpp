@@ -41,6 +41,13 @@
 //   --json[=path]                     bench-schema JSON of every job's
 //                                     metrics [off; default path
 //                                     BENCH_ctsort.json]
+//   --ledger[=path]                   append one run-ledger entry
+//                                     (obs/ledger.h) per evaluated
+//                                     algorithm — fingerprinted by the
+//                                     RunCache key plus the backend and
+//                                     scenario axes, queried by
+//                                     tools/ctstat [off; default path
+//                                     LEDGER_ctsort.jsonl]
 //
 // Observability (src/obs):
 //   --trace=FILE                      write a Chrome trace_event JSON
@@ -113,7 +120,9 @@
 #include "keyvalue/teragen.h"
 #include "keyvalue/teravalidate.h"
 #include "mitigate/policy.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "tools/flag_parser.h"
 
@@ -219,6 +228,45 @@ void Report(const AlgorithmResult& result, bool verify) {
   std::cout << "\n";
 }
 
+// --ledger: one run-ledger entry per evaluated algorithm view. The
+// fingerprint hashes the RunCache key plus the evaluation axes, so
+// the same cell fingerprints identically across invocations (and
+// tools): appending two builds' runs to one ledger makes
+// `ctstat --check` a regression gate over this exact spec.
+void RecordLedger(const std::string& path, const std::string& run_name,
+                  const job::JobResult& result,
+                  const std::map<std::string, std::string>& extra_axes) {
+  if (path.empty()) return;
+  obs::LedgerEntry entry;
+  entry.bench = "ctsort";
+  entry.run = run_name;
+  entry.code_version = obs::CodeVersion();
+  const job::JobSpec& spec = result.spec;
+  entry.axes["algo"] = spec.algorithm;
+  entry.axes["K"] = std::to_string(spec.config.num_nodes);
+  entry.axes["r"] = std::to_string(spec.config.redundancy);
+  entry.axes["records"] = std::to_string(spec.config.num_records);
+  entry.axes["seed"] = std::to_string(spec.config.seed);
+  entry.axes["backend"] = job::BackendName(spec.backend);
+  for (const auto& [key, value] : extra_axes) entry.axes[key] = value;
+  std::string identity =
+      job::RunCache::Key(spec.algorithm, spec.config) +
+      "|backend=" + job::BackendName(spec.backend) +
+      "|paper=" + std::to_string(spec.paper_records);
+  for (const auto& [key, value] : entry.axes) {
+    identity += "|" + key + "=" + value;
+  }
+  entry.fingerprint = obs::HexDigest(obs::Fingerprint64(identity));
+  entry.values = result.metrics(run_name);
+  obs::DigestTimeline(result.timeline, entry);
+  if (!obs::AppendEntry(path, entry)) {
+    std::cerr << "ctsort: cannot append to ledger " << path << "\n";
+    std::exit(1);
+  }
+  std::cout << "appended ledger entry " << entry.fingerprint << " ("
+            << run_name << ") to " << path << "\n";
+}
+
 // --metrics: the process-wide obs::MetricRegistry, one row per entry
 // (the same snapshot --json embeds under its "metrics" key).
 void PrintRegistrySnapshot() {
@@ -312,6 +360,8 @@ int main(int argc, char** argv) {
   const simnet::ReplayOrder order = *order_parsed;
   std::string json_path = flags.Get("json", "");
   if (json_path == "true") json_path = "BENCH_ctsort.json";
+  std::string ledger_path = flags.Get("ledger", "");
+  if (ledger_path == "true") ledger_path = "LEDGER_ctsort.jsonl";
   const std::string backend_name = flags.Get("backend", "live");
   if (backend_name != "live" && backend_name != "priced" &&
       backend_name != "simulated") {
@@ -339,6 +389,16 @@ int main(int argc, char** argv) {
   // cluster exactly once.
   job::RunCache cache;
   bench::JsonReport json("ctsort", json_path);
+
+  // Ledger axes beyond the SortConfig: what the scenario flags add to
+  // a cell's identity (all entries of one invocation share them).
+  std::map<std::string, std::string> ledger_axes;
+  if (scenario_enabled) {
+    ledger_axes["straggler"] = scenario_spec.straggler;
+    ledger_axes["topology"] =
+        scenario_spec.topology.empty() ? "flat" : scenario_spec.topology;
+    ledger_axes["mitigate"] = mitigate_spec;
+  }
 
   // ---- Synthesized backend (--backend=simulated) ----
   // Closed forms only: no execution means nothing to verify, no
@@ -369,7 +429,11 @@ int main(int argc, char** argv) {
         continue;
       }
       rows.push_back(sim.breakdown);
-      if (json.enabled()) json.add_all(sim.metrics(name));
+      if (json.enabled()) {
+        json.add_all(sim.metrics(name));
+        json.add_timeline(name, sim.timeline);
+      }
+      RecordLedger(ledger_path, name, sim, ledger_axes);
     }
     if (!rows.empty()) {
       BreakdownTable("synthesized EC2-calibrated projection at " +
@@ -415,8 +479,12 @@ int main(int argc, char** argv) {
     spec.schedule = schedule;
     const job::JobResult priced = job::RunJob(spec, cache);
     rows.push_back(priced.breakdown);
-    if (json.enabled() && !scenario.has_value()) {
-      json.add_all(priced.metrics(run.name));
+    if (!scenario.has_value()) {
+      if (json.enabled()) {
+        json.add_all(priced.metrics(run.name));
+        json.add_timeline(run.name, priced.timeline);
+      }
+      RecordLedger(ledger_path, run.name, priced, ledger_axes);
     }
   }
   if (!rows.empty()) {
@@ -429,10 +497,14 @@ int main(int argc, char** argv) {
   }
   // Unpriced algorithms (no NodeWork counters) report executed-scale
   // walls in the JSON instead of a paper-scale projection.
-  if (json.enabled() && !scenario.has_value()) {
+  if (!scenario.has_value()) {
     for (const AlgoRun& run : runs) {
       if (!job::Find(run.name)->priced) {
-        json.add_all(run.live.metrics(run.name));
+        if (json.enabled()) {
+          json.add_all(run.live.metrics(run.name));
+          json.add_timeline(run.name, run.live.timeline);
+        }
+        RecordLedger(ledger_path, run.name, run.live, ledger_axes);
       }
     }
   }
@@ -484,7 +556,11 @@ int main(int argc, char** argv) {
       } else {
         executed_rows.push_back(replayed.breakdown);
       }
-      if (json.enabled()) json.add_all(replayed.metrics(run.name));
+      if (json.enabled()) {
+        json.add_all(replayed.metrics(run.name));
+        json.add_timeline(run.name, replayed.timeline);
+      }
+      RecordLedger(ledger_path, run.name, replayed, ledger_axes);
     }
     std::cout << '\n';
     const std::string knobs = "topology=" +
@@ -550,8 +626,14 @@ int main(int argc, char** argv) {
     int pid = 0;
     for (const AlgoRun& run : runs) {
       const AlgorithmResult& exec = *run.live.execution;
+      // The flight-recorder counter track rides along on tid K+1 of
+      // each algorithm's process: the live virtual-time series always,
+      // plus the DES series when the priced scenario replay runs.
+      const int counter_tid = config.num_nodes + 1;
       if (!priced_trace) {
         trace.Merge(obs::BuildLiveTrace(exec, pid, run.name));
+        obs::AppendTimelineCounters(run.live.timeline, trace, pid,
+                                    counter_tid);
       } else {
         if (!job::Find(run.name)->priced) {
           std::cout << "trace: skipping " << run.name
@@ -572,11 +654,14 @@ int main(int argc, char** argv) {
         }
         const auto scenario_run = cache.GetScenarioRun(
             run.name, config, paper_records, /*from_events=*/false);
+        obs::Timeline timeline = obs::BuildLiveTimeline(exec);
         const simscen::ScenarioOutcome outcome =
-            simscen::ReplayScenario(*scenario_run, replay_scenario);
+            simscen::ReplayScenario(*scenario_run, replay_scenario,
+                                    &timeline);
         trace.Merge(obs::BuildScenarioTrace(*scenario_run, outcome,
                                             replay_scenario, pid,
                                             run.name + " (scenario)"));
+        obs::AppendTimelineCounters(timeline, trace, pid, counter_tid);
       }
       const auto it = exec.traffic.find(stage::kShuffle);
       trace.set_meta(run.name + "/shuffle_payload_bytes",

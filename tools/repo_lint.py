@@ -21,9 +21,16 @@ break that promise. Rules:
   benchkey   string keys fed to bench::JsonReport::add(...) or to the
              obs::MetricRegistry (counter/gauge/histogram) must be
              schema-clean: [A-Za-z0-9_/.:+%-]+, not the reserved
-             top-level keys "bench"/"metrics", and registry metric
-             names must not end in `_s` (seconds belong to JsonReport
-             timing keys, registry counters are dimensionless).
+             top-level keys "bench"/"metrics"/"timeline", and registry
+             metric names must not end in `_s` (seconds belong to
+             JsonReport timing keys, registry counters are
+             dimensionless).
+  timelinekey  string keys fed to obs::Timeline::Sample(...) must
+             match the flight-recorder grammar
+             <subsystem>/<name>[/unit] — lowercase [a-z][a-z0-9_]*
+             subsystem, then one or two [A-Za-z0-9_.+-]+ segments
+             (src/obs/timeline.h; tools/trace_check.py enforces the
+             same grammar on exported counter tracks).
 
 Any rule is suppressed for a line by `repo-lint: allow(<rule>)` on the
 line itself or within the two lines above it.
@@ -49,7 +56,9 @@ ADD_KEY_RE = re.compile(r"\.add\(\s*\"([^\"]*)\"")
 REGISTRY_KEY_RE = re.compile(
     r"\b(?:counter|gauge|histogram)\(\s*\"([^\"]*)\"")
 KEY_OK_RE = re.compile(r"[A-Za-z0-9_/.:+%-]+\Z")
-RESERVED_KEYS = {"bench", "metrics"}
+RESERVED_KEYS = {"bench", "metrics", "timeline"}
+SAMPLE_KEY_RE = re.compile(r"(?:\.|->)Sample\(\s*\"([^\"]*)\"")
+TIMELINE_KEY_RE = re.compile(r"[a-z][a-z0-9_]*(/[A-Za-z0-9_.+-]+){1,2}\Z")
 
 
 def allowed(lines, i, rule):
@@ -106,6 +115,13 @@ def lint_lines(relpath, lines):
                        "registry metric name %r is not schema-clean "
                        "(charset, reserved, or a `_s` seconds suffix)"
                        % key)
+        for m in SAMPLE_KEY_RE.finditer(line):
+            key = m.group(1)
+            if not TIMELINE_KEY_RE.fullmatch(key) \
+                    and not allowed(lines, i, "timelinekey"):
+                yield (i + 1, "timelinekey",
+                       "timeline series key %r violates "
+                       "<subsystem>/<name>[/unit]" % key)
 
 
 def iter_files(root):
@@ -170,6 +186,21 @@ def self_test():
                  'report.add("check/total_s", 1.0);', [])
     ok &= expect("registry-seconds", "src/x.cc",
                  'reg.counter("job/wait_s").add(1);', ["benchkey"])
+    ok &= expect("benchkey-timeline-reserved", "bench/x.cpp",
+                 'report.add("timeline", 1.0);', ["benchkey"])
+    ok &= expect("timelinekey-ok", "src/x.cc",
+                 'tl.Sample("des/inflight_flows", t, v);\n'
+                 'probe.timeline->Sample("live/shuffle_bytes/bytes", t, v);',
+                 [])
+    ok &= expect("timelinekey-no-subsystem", "src/x.cc",
+                 'tl.Sample("inflight", t, v);', ["timelinekey"])
+    ok &= expect("timelinekey-upper-subsystem", "src/x.cc",
+                 'tl.Sample("DES/inflight", t, v);', ["timelinekey"])
+    ok &= expect("timelinekey-too-deep", "src/x.cc",
+                 'tl.Sample("a/b/c/d", t, v);', ["timelinekey"])
+    ok &= expect("timelinekey-allow", "src/x.cc",
+                 "// repo-lint: allow(timelinekey)\n"
+                 'tl.Sample("LEGACY", t, v);', [])
     ok &= expect("allow-suppresses", "src/x.cc",
                  "// repo-lint: allow(rand)\nint x = rand();", [])
     ok &= expect("allow-wrong-rule", "src/x.cc",

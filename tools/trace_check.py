@@ -25,12 +25,18 @@ import argparse
 import json
 import math
 import os
+import re
 import subprocess
 import sys
 import tempfile
 
 # Metadata ('M') events carry no timestamp; every other phase must.
 REQUIRED_EVENT_KEYS = ("name", "ph", "pid", "tid")
+
+# Counter ('C') series are flight-recorder timelines; their names obey
+# the timeline key grammar <subsystem>/<name>[/unit]
+# (src/obs/timeline.h — lowercase subsystem, 1-2 further segments).
+TIMELINE_KEY_RE = re.compile(r"[a-z][a-z0-9_]*(/[A-Za-z0-9_.+-]+){1,2}\Z")
 
 
 def fail(path, msg):
@@ -57,7 +63,7 @@ def check_structure(data, path):
                 break
         else:
             ph = e["ph"]
-            if ph not in ("X", "i", "s", "f", "M"):
+            if ph not in ("X", "i", "s", "f", "M", "C"):
                 errors.append(f"traceEvents[{i}] has unknown phase {ph!r}")
                 continue
             if ph != "M" and not (isinstance(e.get("ts"), (int, float))
@@ -127,6 +133,46 @@ def check_flows(events, path):
     return errors
 
 
+def check_counters(events, path):
+    """Counter ('C') events — the exported flight-recorder timelines.
+    Per (pid, tid, name) series: the name obeys the timeline key
+    grammar, every sample carries a non-empty args object of finite
+    numbers, and timestamps never go backwards (virtual time is
+    nondecreasing; same epsilon policy as the other checks)."""
+    max_ts = max([1.0] + [abs(e["ts"]) + e.get("dur", 0)
+                          for e in events if e.get("ph") in ("X", "C")])
+    eps = 1e-9 * max_ts
+    errors = []
+    last_ts = {}
+    bad_names = set()
+    for i, e in enumerate(events):
+        if e.get("ph") != "C":
+            continue
+        name = e["name"]
+        if name not in bad_names and not TIMELINE_KEY_RE.fullmatch(name):
+            errors.append(f"counter series {name!r} violates "
+                          "<subsystem>/<name>[/unit]")
+            bad_names.add(name)
+        args = e.get("args")
+        if not isinstance(args, dict) or not args:
+            errors.append(f"traceEvents[{i}] counter sample of {name!r} "
+                          "carries no args")
+        else:
+            for k, v in args.items():
+                if not (isinstance(v, (int, float))
+                        and not isinstance(v, bool) and math.isfinite(v)):
+                    errors.append(f"traceEvents[{i}] counter {name!r} arg "
+                                  f"{k!r} is not a finite number")
+        key = (e["pid"], e["tid"], name)
+        if key in last_ts and e["ts"] < last_ts[key] - eps:
+            errors.append(f"counter series {name!r} time went backwards "
+                          f"at ts={e['ts']}")
+        last_ts[key] = max(e["ts"], last_ts.get(key, e["ts"]))
+    for err in errors:
+        print(f"trace_check: {path}: {err}", file=sys.stderr)
+    return errors
+
+
 def check_byte_conservation(data, path):
     """otherData's "<algo>/shuffle_payload_bytes" entries vs the traced
     shuffle slices. The algo is matched to its pid via the process_name
@@ -177,6 +223,7 @@ def check_file(path):
         events = data["traceEvents"]
         errors += check_nesting(events, path)
         errors += check_flows(events, path)
+        errors += check_counters(events, path)
         errors += check_byte_conservation(data, path)
     if not errors:
         n = len(data["traceEvents"])
@@ -230,10 +277,15 @@ def self_test():
          "ts": 30, "id": 1, "bp": "e"},
         {"name": "m", "cat": "mark", "ph": "i", "pid": 0, "tid": 0,
          "ts": 5, "s": "t"},
+        {"name": "des/inflight_flows", "cat": "counter", "ph": "C",
+         "pid": 0, "tid": 9, "ts": 0, "args": {"value": 1}},
+        {"name": "des/inflight_flows", "cat": "counter", "ph": "C",
+         "pid": 0, "tid": 9, "ts": 10, "args": {"value": 0}},
     ], {"terasort/shuffle_payload_bytes": 64})
     assert not check_structure(good, "<good>")
     assert not check_nesting(good["traceEvents"], "<good>")
     assert not check_flows(good["traceEvents"], "<good>")
+    assert not check_counters(good["traceEvents"], "<good>")
     assert not check_byte_conservation(good, "<good>")
 
     # Overlapping siblings on one track are a nesting violation.
@@ -267,6 +319,22 @@ def self_test():
     orphan = json.loads(json.dumps(good))
     orphan["otherData"] = {"coded/shuffle_payload_bytes": 1}
     assert check_byte_conservation(orphan, "<orphan-total>")
+
+    # Counter series: a name off the key grammar, a non-numeric arg, a
+    # missing args object, and time running backwards all fail; the
+    # same series name on another track keeps its own clock.
+    def counter(ts, name="des/x", tid=9, args=None):
+        return {"name": name, "cat": "counter", "ph": "C", "pid": 0,
+                "tid": tid, "ts": ts,
+                "args": {"value": 1} if args is None else args}
+    assert check_counters([counter(0, name="NotAKey")], "<bad-counter-key>")
+    assert check_counters([counter(0, name="a/b/c/d")], "<deep-counter-key>")
+    assert check_counters([counter(0, args={"value": "high"})],
+                          "<string-counter>")
+    assert check_counters([counter(0, args={})], "<argless-counter>")
+    assert check_counters([counter(10), counter(0)], "<backwards-counter>")
+    assert not check_counters([counter(10), counter(0, tid=3)],
+                              "<per-track-clocks>")
 
     # Structural failures: missing keys, bad phase, negative duration.
     assert check_structure(base([{"ph": "X"}]), "<missing-keys>")
